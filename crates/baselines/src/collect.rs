@@ -1,0 +1,104 @@
+//! Collect-at-root baseline: gather the whole graph at a coordinator,
+//! solve centrally, broadcast the result. `O(m + D)` rounds — the naive
+//! yardstick every distributed algorithm must beat on sparse-versus-dense
+//! tradeoffs.
+
+use dsf_congest::{id_bits, weight_bits, CongestConfig, RoundLedger, SimError};
+use dsf_core::primitives::{build_bfs_tree, flood_items, FloodItem};
+use dsf_graph::{NodeId, WeightedGraph};
+use dsf_steiner::{moat, ForestSolution, Instance};
+
+/// Result of the collect-at-root baseline.
+#[derive(Debug, Clone)]
+pub struct CollectOutput {
+    /// The (2-approximate) solution computed centrally.
+    pub forest: ForestSolution,
+    /// Round accounting: dominated by the `O(m + D)` edge gather.
+    pub rounds: RoundLedger,
+}
+
+/// Runs the baseline: every edge is flooded to all nodes (on the BFS tree
+/// this is a pipelined gather+broadcast, `O(m + D)` rounds), then each node
+/// locally runs Algorithm 1 — equivalently, the root solves and broadcasts.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn solve_collect_at_root(
+    g: &WeightedGraph,
+    inst: &Instance,
+    ) -> Result<CollectOutput, SimError> {
+    let congest = CongestConfig::for_graph(g);
+    let mut ledger = RoundLedger::new();
+    let bfs = build_bfs_tree(g, NodeId(0), &congest)?;
+    ledger.record("BFS tree construction", &bfs.metrics);
+
+    // Each node contributes its incident edges (u < v side) and its label.
+    let idb = id_bits(g.n());
+    let initial: Vec<Vec<FloodItem>> = g
+        .nodes()
+        .map(|v| {
+            let mut items = Vec::new();
+            for &(nb, e) in g.neighbors(v) {
+                if v < nb {
+                    let w = g.weight(e);
+                    items.push(FloodItem {
+                        payload: ((v.0 as u128) << 96)
+                            | ((nb.0 as u128) << 64)
+                            | w as u128,
+                        bits: (2 * idb + weight_bits(w)) as u16,
+                    });
+                }
+            }
+            if let Some(l) = inst.label(v) {
+                items.push(FloodItem {
+                    payload: (1u128 << 126) | ((v.0 as u128) << 32) | l.0 as u128,
+                    bits: (2 * idb) as u16,
+                });
+            }
+            items
+        })
+        .collect();
+    let fl = flood_items(g, initial, &congest)?;
+    ledger.record("full graph gather+broadcast (m + t items)", &fl.metrics);
+
+    // All nodes now know the instance; solve locally (no communication).
+    let run = moat::grow(g, inst);
+    ledger.charge("local centralized solve (no communication)", 0);
+
+    Ok(CollectOutput {
+        forest: run.forest,
+        rounds: ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::generators;
+    use dsf_steiner::random_instance;
+
+    #[test]
+    fn matches_centralized_exactly() {
+        let g = generators::gnp_connected(18, 0.25, 8, 4);
+        let inst = random_instance(&g, 3, 2, 4);
+        let out = solve_collect_at_root(&g, &inst).unwrap();
+        let central = moat::grow(&g, &inst);
+        assert_eq!(out.forest, central.forest);
+    }
+
+    #[test]
+    fn rounds_scale_with_edge_count() {
+        // Dense graph: the gather dominates and scales with m.
+        let sparse = generators::path(24, 2);
+        let dense = generators::complete(24, 9, 1);
+        let inst_s = random_instance(&sparse, 2, 2, 1);
+        let inst_d = random_instance(&dense, 2, 2, 1);
+        let r_sparse = solve_collect_at_root(&sparse, &inst_s).unwrap().rounds.total();
+        let r_dense = solve_collect_at_root(&dense, &inst_d).unwrap().rounds.total();
+        assert!(
+            r_dense > 3 * r_sparse,
+            "dense {r_dense} vs sparse {r_sparse}: gather must scale with m"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline distributed Steiner forest algorithms the paper compares
+//! against.
+//!
+//! * [`khan`] — Khan et al. \[14\]: the same probabilistic tree embedding,
+//!   but the selection stage runs **once per input component** instead of
+//!   multiplexing all labels through shared paths. This is the `Õ(sk)`
+//!   behaviour the paper improves on ("the straightforward implementation
+//!   from \[14\] requires `Õ(sk)` rounds ... due to possible congestion",
+//!   Section 5) — experiment E4 plots the crossover.
+//! * [`collect`] — the trivial coordinator algorithm: ship every edge to
+//!   the BFS root (`O(m + D)` rounds pipelined), solve centrally with the
+//!   2-approximate moat grower, broadcast the answer. A sanity baseline
+//!   for both quality and rounds.
+
+pub mod collect;
+pub mod khan;
+
+pub use collect::solve_collect_at_root;
+pub use khan::solve_khan;

@@ -1,0 +1,35 @@
+//! Regenerates every experiment table of the reproduction.
+//!
+//! ```text
+//! cargo run -p dsf-bench --bin paper_tables --release            # all, full size
+//! cargo run -p dsf-bench --bin paper_tables --release -- --quick # smoke sizes
+//! cargo run -p dsf-bench --bin paper_tables --release -- e4 e11  # a subset
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids: Vec<&str> = if ids.is_empty() {
+        dsf_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    println!("# Experiment tables — Lenzen & Patt-Shamir, PODC 2014 reproduction\n");
+    println!(
+        "Mode: {} — regenerate with `cargo run -p dsf-bench --bin paper_tables --release{}`\n",
+        if quick { "quick" } else { "full" },
+        if quick { " -- --quick" } else { "" }
+    );
+    for id in ids {
+        let start = Instant::now();
+        let tables = dsf_bench::run_experiment(id, quick);
+        for t in &tables {
+            println!("{t}");
+        }
+        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+    }
+}

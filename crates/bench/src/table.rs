@@ -1,0 +1,87 @@
+//! Markdown table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A titled markdown table with a free-text note block.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Section title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+    /// Commentary rendered under the table (paper-vs-measured notes).
+    pub notes: String,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Sets the commentary.
+    pub fn note(&mut self, notes: impl Into<String>) {
+        self.notes = notes.into();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}\n", self.title)?;
+        writeln!(f, "| {} |", self.header.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f, "\n{}", self.notes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub(crate) fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("note text");
+        let s = format!("{t}");
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+        assert!(s.contains("note text"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,567 @@
+//! The synchronous round executor.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use dsf_graph::{EdgeId, NodeId, Weight, WeightedGraph};
+
+use crate::message::{id_bits, Message};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct CongestConfig {
+    /// Per-edge per-round bandwidth budget in bits (`B(n) = Θ(log n)`).
+    pub bandwidth_bits: usize,
+    /// Abort the run after this many rounds (guards against protocols that
+    /// fail to reach quiescence).
+    pub max_rounds: u64,
+    /// Edges whose traffic is metered separately (lower-bound experiments
+    /// measure the bits crossing the Alice/Bob cut of Figure 1).
+    pub metered_cut: HashSet<EdgeId>,
+}
+
+impl CongestConfig {
+    /// Default budget for an `n`-node network.
+    ///
+    /// The model allows `c · log n` bits; we fix the generous but honest
+    /// constant `c = 32` plus a 192-bit slack so that one message can carry
+    /// a small constant number of ids, one weight, and one dyadic value.
+    /// All protocol messages in this repository fit; anything larger is a
+    /// pipelining bug and aborts the run.
+    pub fn for_graph(g: &WeightedGraph) -> Self {
+        CongestConfig {
+            bandwidth_bits: 32 * id_bits(g.n()) + 192,
+            max_rounds: 4_000_000,
+            metered_cut: HashSet::new(),
+        }
+    }
+
+    /// Same as [`CongestConfig::for_graph`] with a metered edge cut.
+    pub fn with_metered_cut(g: &WeightedGraph, cut: impl IntoIterator<Item = EdgeId>) -> Self {
+        let mut cfg = Self::for_graph(g);
+        cfg.metered_cut = cut.into_iter().collect();
+        cfg
+    }
+}
+
+/// Errors aborting a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A message exceeded the bandwidth budget.
+    BandwidthExceeded {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Offending message size.
+        bits: usize,
+        /// Configured budget.
+        budget: usize,
+        /// Round in which it happened.
+        round: u64,
+    },
+    /// Two messages were enqueued on the same edge in the same round.
+    DuplicateSend {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Round in which it happened.
+        round: u64,
+    },
+    /// A node attempted to message a non-neighbor.
+    NotANeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// The protocol did not reach quiescence within `max_rounds`.
+    MaxRoundsExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Node count mismatch between graph and protocol states.
+    WrongNodeCount {
+        /// Nodes in the graph.
+        expected: usize,
+        /// Protocol states supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget,
+                round,
+            } => write!(
+                f,
+                "round {round}: message {from}->{to} is {bits} bits, budget {budget}"
+            ),
+            SimError::DuplicateSend { from, to, round } => {
+                write!(f, "round {round}: duplicate send {from}->{to}")
+            }
+            SimError::NotANeighbor { from, to } => {
+                write!(f, "{from} attempted to message non-neighbor {to}")
+            }
+            SimError::MaxRoundsExceeded { limit } => {
+                write!(f, "no quiescence within {limit} rounds")
+            }
+            SimError::WrongNodeCount { expected, got } => {
+                write!(f, "graph has {expected} nodes but {got} states were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Read-only view a node has of its surroundings: its id, its neighbors and
+/// incident edge weights, plus the globally known scalars `n` and the
+/// current round (a synchronous network has a shared round counter).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx<'a> {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// Total number of nodes (CONGEST algorithms may assume `n` known; the
+    /// paper's footnote 2 shows how to compute it in `O(D)` otherwise).
+    pub n: usize,
+    /// Current round number (0 during `init`).
+    pub round: u64,
+    graph: &'a WeightedGraph,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Neighbors of this node: `(neighbor, edge id)`, sorted by neighbor id.
+    pub fn neighbors(&self) -> &'a [(NodeId, EdgeId)] {
+        self.graph.neighbors(self.id)
+    }
+
+    /// Weight of an incident edge.
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.graph.weight(e)
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.id)
+    }
+}
+
+/// Per-round outgoing message buffer with model enforcement.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    from: NodeId,
+    msgs: Vec<(NodeId, M)>,
+    error: Option<SimError>,
+}
+
+impl<M: Message> Outbox<M> {
+    fn new(from: NodeId) -> Self {
+        Outbox {
+            from,
+            msgs: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Sends `msg` to neighbor `to`. At most one message per neighbor per
+    /// round; violations surface as [`SimError`] when the round is
+    /// committed.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        if self.msgs.iter().any(|(t, _)| *t == to) {
+            self.error.get_or_insert(SimError::DuplicateSend {
+                from: self.from,
+                to,
+                round: 0, // filled by the executor
+            });
+            return;
+        }
+        self.msgs.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, ctx: &NodeCtx, msg: M) {
+        for &(nb, _) in ctx.neighbors() {
+            self.send(nb, msg.clone());
+        }
+    }
+
+    /// Whether anything was enqueued this round.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// A per-node state machine executing in the CONGEST model.
+///
+/// One value of the implementing type exists per node. The executor calls
+/// [`Protocol::init`] once (round 0, output delivered in round 1) and then
+/// [`Protocol::round`] once per round until quiescence: every node reports
+/// [`Protocol::done`] *and* no message is in flight.
+pub trait Protocol {
+    /// Message type of this protocol.
+    type Msg: Message;
+
+    /// One-time initialization; may send messages.
+    fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Self::Msg>);
+
+    /// One synchronous round: consume last round's messages, send this
+    /// round's.
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Self::Msg)], out: &mut Outbox<Self::Msg>);
+
+    /// Local termination vote. The executor keeps invoking `round` until
+    /// all nodes vote done and the network is quiet; a node may be woken
+    /// again by a late message and may then change its vote.
+    fn done(&self) -> bool;
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Number of executed rounds (quiescence round inclusive).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered.
+    pub total_bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+    /// Bits that crossed the metered cut (0 if no cut configured).
+    pub cut_bits: u64,
+}
+
+/// Outcome of [`run`]: final per-node states plus metrics.
+#[derive(Debug)]
+pub struct RunResult<P> {
+    /// Final protocol state of each node, indexed by node id.
+    pub states: Vec<P>,
+    /// Aggregate statistics.
+    pub metrics: RunMetrics,
+}
+
+/// Executes `nodes` (one [`Protocol`] state per node id) on the network `g`
+/// until quiescence.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by model enforcement.
+pub fn run<P: Protocol>(
+    g: &WeightedGraph,
+    mut nodes: Vec<P>,
+    cfg: &CongestConfig,
+) -> Result<RunResult<P>, SimError> {
+    let n = g.n();
+    if nodes.len() != n {
+        return Err(SimError::WrongNodeCount {
+            expected: n,
+            got: nodes.len(),
+        });
+    }
+    let mut metrics = RunMetrics::default();
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+    let mut pending: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+    let mut in_flight = 0usize;
+
+    let commit = |from: NodeId,
+                      out: Outbox<P::Msg>,
+                      round: u64,
+                      pending: &mut Vec<Vec<(NodeId, P::Msg)>>,
+                      in_flight: &mut usize,
+                      metrics: &mut RunMetrics|
+     -> Result<(), SimError> {
+        if let Some(mut e) = out.error {
+            if let SimError::DuplicateSend { round: r, .. } = &mut e {
+                *r = round;
+            }
+            return Err(e);
+        }
+        for (to, msg) in out.msgs {
+            let edge = g
+                .find_edge(from, to)
+                .ok_or(SimError::NotANeighbor { from, to })?;
+            let bits = msg.encoded_bits();
+            if bits > cfg.bandwidth_bits {
+                return Err(SimError::BandwidthExceeded {
+                    from,
+                    to,
+                    bits,
+                    budget: cfg.bandwidth_bits,
+                    round,
+                });
+            }
+            metrics.messages += 1;
+            metrics.total_bits += bits as u64;
+            metrics.max_message_bits = metrics.max_message_bits.max(bits);
+            if cfg.metered_cut.contains(&edge) {
+                metrics.cut_bits += bits as u64;
+            }
+            pending[to.idx()].push((from, msg));
+            *in_flight += 1;
+        }
+        Ok(())
+    };
+
+    // Round 0: init.
+    for v in 0..n {
+        let ctx = NodeCtx {
+            id: NodeId::from(v),
+            n,
+            round: 0,
+            graph: g,
+        };
+        let mut out = Outbox::new(ctx.id);
+        nodes[v].init(&ctx, &mut out);
+        commit(ctx.id, out, 0, &mut pending, &mut in_flight, &mut metrics)?;
+    }
+
+    let mut round = 0u64;
+    loop {
+        let quiet = in_flight == 0 && inboxes.iter().all(|i| i.is_empty());
+        if quiet && nodes.iter().all(|p| p.done()) {
+            break;
+        }
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: cfg.max_rounds,
+            });
+        }
+        // Deliver messages sent last round.
+        std::mem::swap(&mut inboxes, &mut pending);
+        in_flight = 0;
+        for v in 0..n {
+            let ctx = NodeCtx {
+                id: NodeId::from(v),
+                n,
+                round,
+                graph: g,
+            };
+            let inbox = std::mem::take(&mut inboxes[v]);
+            let mut out = Outbox::new(ctx.id);
+            nodes[v].round(&ctx, &inbox, &mut out);
+            commit(ctx.id, out, round, &mut pending, &mut in_flight, &mut metrics)?;
+        }
+        metrics.rounds = round;
+    }
+
+    Ok(RunResult {
+        states: nodes,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::generators;
+
+    #[derive(Clone, Debug)]
+    struct Blob(usize);
+    impl Message for Blob {
+        fn encoded_bits(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// Every node sends one oversized blob to its first neighbor in round 1.
+    #[derive(Debug)]
+    struct Oversize {
+        fired: bool,
+        size: usize,
+    }
+    impl Protocol for Oversize {
+        type Msg = Blob;
+        fn init(&mut self, _ctx: &NodeCtx, _out: &mut Outbox<Blob>) {}
+        fn round(&mut self, ctx: &NodeCtx, _inbox: &[(NodeId, Blob)], out: &mut Outbox<Blob>) {
+            if !self.fired {
+                self.fired = true;
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(self.size));
+            }
+        }
+        fn done(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_enforced() {
+        let g = generators::path(3, 1);
+        let cfg = CongestConfig::for_graph(&g);
+        let too_big = cfg.bandwidth_bits + 1;
+        let nodes = (0..3)
+            .map(|_| Oversize {
+                fired: false,
+                size: too_big,
+            })
+            .collect();
+        let err = run(&g, nodes, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+    }
+
+    #[test]
+    fn within_budget_passes() {
+        let g = generators::path(3, 1);
+        let cfg = CongestConfig::for_graph(&g);
+        let nodes = (0..3)
+            .map(|_| Oversize {
+                fired: false,
+                size: cfg.bandwidth_bits,
+            })
+            .collect();
+        let res = run(&g, nodes, &cfg).unwrap();
+        assert_eq!(res.metrics.messages, 3);
+        assert_eq!(res.metrics.max_message_bits, cfg.bandwidth_bits);
+    }
+
+    /// Sends two messages to the same neighbor in one round.
+    #[derive(Debug)]
+    struct DoubleSend {
+        fired: bool,
+    }
+    impl Protocol for DoubleSend {
+        type Msg = Blob;
+        fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Blob>) {
+            if ctx.id == NodeId(0) {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(1));
+                out.send(nb, Blob(1));
+            }
+            self.fired = true;
+        }
+        fn round(&mut self, _: &NodeCtx, _: &[(NodeId, Blob)], _: &mut Outbox<Blob>) {}
+        fn done(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn duplicate_send_is_rejected() {
+        let g = generators::path(2, 1);
+        let nodes = (0..2).map(|_| DoubleSend { fired: false }).collect();
+        let err = run(&g, nodes, &CongestConfig::for_graph(&g)).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateSend { .. }));
+    }
+
+    /// A protocol that never quiesces: node 0 keeps sending forever.
+    #[derive(Debug)]
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Msg = Blob;
+        fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Blob>) {
+            if ctx.id == NodeId(0) {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(1));
+            }
+        }
+        fn round(&mut self, ctx: &NodeCtx, _: &[(NodeId, Blob)], out: &mut Outbox<Blob>) {
+            if ctx.id == NodeId(0) {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(1));
+            }
+        }
+        fn done(&self) -> bool {
+            true // claims done but keeps talking: quiescence never holds
+        }
+    }
+
+    #[test]
+    fn max_rounds_guard() {
+        let g = generators::path(2, 1);
+        let mut cfg = CongestConfig::for_graph(&g);
+        cfg.max_rounds = 50;
+        let err = run(&g, vec![Chatter, Chatter], &cfg).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn wrong_node_count() {
+        let g = generators::path(3, 1);
+        let err = run(&g, vec![Chatter], &CongestConfig::for_graph(&g)).unwrap_err();
+        assert!(matches!(err, SimError::WrongNodeCount { .. }));
+    }
+
+    /// Echo counts: each endpoint of each edge sends a ping in round 1; cut
+    /// metering must count exactly the pings over the metered edge.
+    #[derive(Debug)]
+    struct Ping {
+        fired: bool,
+    }
+    impl Protocol for Ping {
+        type Msg = Blob;
+        fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Blob>) {
+            for &(nb, _) in ctx.neighbors() {
+                out.send(nb, Blob(8));
+            }
+            self.fired = true;
+        }
+        fn round(&mut self, _: &NodeCtx, _: &[(NodeId, Blob)], _: &mut Outbox<Blob>) {}
+        fn done(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn cut_metering() {
+        let g = generators::path(4, 1); // edges 0-1, 1-2, 2-3
+        let cut_edge = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let cfg = CongestConfig::with_metered_cut(&g, [cut_edge]);
+        let nodes = (0..4).map(|_| Ping { fired: false }).collect();
+        let res = run(&g, nodes, &cfg).unwrap();
+        assert_eq!(res.metrics.cut_bits, 16); // 8 bits each direction
+        assert_eq!(res.metrics.total_bits, 6 * 8);
+    }
+
+    /// Messages sent in round r arrive in round r+1 — the synchronous
+    /// semantics every round bound relies on.
+    #[derive(Debug)]
+    struct Echo {
+        sent_round: Option<u64>,
+        got_round: Option<u64>,
+    }
+    impl Protocol for Echo {
+        type Msg = Blob;
+        fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Blob>) {
+            if ctx.id == NodeId(0) {
+                out.send(NodeId(1), Blob(3));
+                self.sent_round = Some(ctx.round);
+            }
+        }
+        fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Blob)], _: &mut Outbox<Blob>) {
+            if !inbox.is_empty() && self.got_round.is_none() {
+                self.got_round = Some(ctx.round);
+            }
+        }
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn one_round_message_latency() {
+        let g = generators::path(2, 1);
+        let nodes = vec![
+            Echo { sent_round: None, got_round: None },
+            Echo { sent_round: None, got_round: None },
+        ];
+        let res = run(&g, nodes, &CongestConfig::for_graph(&g)).unwrap();
+        assert_eq!(res.states[0].sent_round, Some(0));
+        assert_eq!(res.states[1].got_round, Some(1));
+    }
+
+    #[test]
+    fn determinism() {
+        let g = generators::gnp_connected(12, 0.3, 9, 5);
+        let mk = || (0..12).map(|_| Ping { fired: false }).collect::<Vec<_>>();
+        let cfg = CongestConfig::for_graph(&g);
+        let a = run(&g, mk(), &cfg).unwrap();
+        let b = run(&g, mk(), &cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

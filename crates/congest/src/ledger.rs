@@ -1,0 +1,178 @@
+//! Multi-stage round accounting.
+//!
+//! The paper's algorithms are compositions of stages (BFS construction,
+//! Bellman–Ford sweeps, pipelined convergecasts, …) glued together by
+//! control flow whose cost the paper charges explicitly ("termination can be
+//! detected over a BFS tree at `O(D)` overhead"). [`RoundLedger`] keeps the
+//! two kinds of cost separate and auditable: *simulated* rounds really ran
+//! in the executor; *charged* rounds are explicit surcharges with a label
+//! naming the paper's justification.
+
+use std::fmt;
+
+use crate::executor::RunMetrics;
+
+/// One accounted stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Human-readable stage label, e.g. `"phase 3: Bellman-Ford"`.
+    pub label: String,
+    /// Rounds actually executed by the simulator.
+    pub simulated: u64,
+    /// Rounds charged for control flow per the paper's accounting.
+    pub charged: u64,
+    /// Messages delivered during the stage.
+    pub messages: u64,
+    /// Bits delivered during the stage.
+    pub bits: u64,
+    /// Bits that crossed the metered cut during the stage.
+    pub cut_bits: u64,
+}
+
+/// An append-only log of stage costs.
+#[derive(Debug, Clone, Default)]
+pub struct RoundLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl RoundLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a simulated stage from its metrics.
+    pub fn record(&mut self, label: impl Into<String>, metrics: &RunMetrics) {
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            simulated: metrics.rounds,
+            charged: 0,
+            messages: metrics.messages,
+            bits: metrics.total_bits,
+            cut_bits: metrics.cut_bits,
+        });
+    }
+
+    /// Records an explicit surcharge (e.g. termination detection `O(D)`).
+    pub fn charge(&mut self, label: impl Into<String>, rounds: u64) {
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            simulated: 0,
+            charged: rounds,
+            messages: 0,
+            bits: 0,
+            cut_bits: 0,
+        });
+    }
+
+    /// Appends all entries of another ledger (used when a sub-algorithm
+    /// returns its own ledger).
+    pub fn absorb(&mut self, prefix: &str, other: RoundLedger) {
+        for mut e in other.entries {
+            e.label = format!("{prefix}{}", e.label);
+            self.entries.push(e);
+        }
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total rounds: simulated + charged.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|e| e.simulated + e.charged).sum()
+    }
+
+    /// Total simulated rounds only.
+    pub fn simulated(&self) -> u64 {
+        self.entries.iter().map(|e| e.simulated).sum()
+    }
+
+    /// Total charged rounds only.
+    pub fn charged(&self) -> u64 {
+        self.entries.iter().map(|e| e.charged).sum()
+    }
+
+    /// Total messages.
+    pub fn messages(&self) -> u64 {
+        self.entries.iter().map(|e| e.messages).sum()
+    }
+
+    /// Total bits.
+    pub fn bits(&self) -> u64 {
+        self.entries.iter().map(|e| e.bits).sum()
+    }
+
+    /// Total bits across the metered cut.
+    pub fn cut_bits(&self) -> u64 {
+        self.entries.iter().map(|e| e.cut_bits).sum()
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<44} {:>9} {:>9} {:>10}", "stage", "sim", "charged", "msgs")?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "{:<44} {:>9} {:>9} {:>10}",
+                e.label, e.simulated, e.charged, e.messages
+            )?;
+        }
+        write!(
+            f,
+            "{:<44} {:>9} {:>9} {:>10}",
+            "TOTAL",
+            self.simulated(),
+            self.charged(),
+            self.messages()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_totals() {
+        let mut l = RoundLedger::new();
+        l.record(
+            "bfs",
+            &RunMetrics {
+                rounds: 10,
+                messages: 100,
+                total_bits: 800,
+                max_message_bits: 8,
+                cut_bits: 0,
+            },
+        );
+        l.charge("termination detection O(D)", 10);
+        assert_eq!(l.total(), 20);
+        assert_eq!(l.simulated(), 10);
+        assert_eq!(l.charged(), 10);
+        assert_eq!(l.messages(), 100);
+        assert_eq!(l.bits(), 800);
+        assert_eq!(l.entries().len(), 2);
+    }
+
+    #[test]
+    fn absorb_prefixes_labels() {
+        let mut inner = RoundLedger::new();
+        inner.charge("x", 5);
+        let mut outer = RoundLedger::new();
+        outer.absorb("stage2/", inner);
+        assert_eq!(outer.entries()[0].label, "stage2/x");
+        assert_eq!(outer.total(), 5);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut l = RoundLedger::new();
+        l.charge("x", 1);
+        let s = format!("{l}");
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,64 @@
+//! Message-size accounting.
+//!
+//! CONGEST caps each per-edge per-round message at `O(log n)` bits. Rather
+//! than serializing messages, protocols declare the bit size of a natural
+//! binary encoding via [`Message::encoded_bits`]; the executor enforces the
+//! cap. Helper functions give the conventional sizes of the primitive
+//! fields (node ids, weights) so the accounting stays consistent across
+//! crates.
+
+/// A message exchangeable over one edge in one round.
+///
+/// Implementations must report the number of bits of a reasonable binary
+/// encoding. The executor compares this against the bandwidth budget.
+pub trait Message: Clone + std::fmt::Debug {
+    /// Bits of a natural binary encoding of this message.
+    fn encoded_bits(&self) -> usize;
+}
+
+/// Bits needed for a node identifier in an `n`-node network:
+/// `ceil(log2 n)`, at least 1.
+pub fn id_bits(n: usize) -> usize {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize
+}
+
+/// Bits needed for a weight or distance value.
+///
+/// Weights are polynomially bounded in `n` (model assumption), hence
+/// `O(log n)` bits; we charge the actual magnitude.
+pub fn weight_bits(w: u64) -> usize {
+    (64 - w.max(1).leading_zeros()) as usize
+}
+
+impl Message for () {
+    fn encoded_bits(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_bounds() {
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+        // Degenerate sizes still get one bit.
+        assert_eq!(id_bits(0), 1);
+        assert_eq!(id_bits(1), 1);
+    }
+
+    #[test]
+    fn weight_bits_magnitude() {
+        assert_eq!(weight_bits(1), 1);
+        assert_eq!(weight_bits(2), 2);
+        assert_eq!(weight_bits(255), 8);
+        assert_eq!(weight_bits(256), 9);
+        assert_eq!(weight_bits(0), 1);
+    }
+}

@@ -1,0 +1,476 @@
+//! Phase-loop driver of the deterministic algorithm (Theorem 4.17).
+
+use std::collections::HashMap;
+
+use dsf_congest::{CongestConfig, RoundLedger, SimError};
+use dsf_graph::dyadic::Dyadic;
+use dsf_graph::{EdgeId, GraphBuilder, NodeId, WeightedGraph};
+use dsf_steiner::{ForestSolution, Instance, InstanceBuilder};
+
+use crate::primitives::{
+    build_bfs_tree, flood_items, filtered_upcast, FloodItem, UpcastCandidate, UpcastMode,
+    UpcastRootVerdict,
+};
+
+use super::book::MoatBook;
+use super::voronoi::{decompose, VorStatus};
+
+/// Configuration of the deterministic solver.
+#[derive(Debug, Clone)]
+pub struct DetConfig {
+    /// Override of the per-edge bandwidth (None: `CongestConfig::for_graph`).
+    pub bandwidth_bits: Option<usize>,
+    /// Safety bound on merge phases (Lemma 4.4 guarantees `≤ 2k`).
+    pub max_phases: usize,
+    /// Edges whose traffic is metered (lower-bound experiments).
+    pub metered_cut: Vec<EdgeId>,
+}
+
+impl Default for DetConfig {
+    fn default() -> Self {
+        DetConfig {
+            bandwidth_bits: None,
+            max_phases: 10_000,
+            metered_cut: Vec::new(),
+        }
+    }
+}
+
+/// One accepted merge.
+#[derive(Debug, Clone)]
+pub struct DetMerge {
+    /// Terminal of the first moat (smaller node id).
+    pub v: NodeId,
+    /// Terminal of the second moat.
+    pub w: NodeId,
+    /// Cumulative growth within the phase at which the moats met.
+    pub mu: Dyadic,
+    /// Merge phase index (1-based).
+    pub phase: usize,
+    /// The inducing boundary edge.
+    pub edge: EdgeId,
+}
+
+/// Result of the deterministic distributed algorithm.
+#[derive(Debug, Clone)]
+pub struct DetOutput {
+    /// The minimal feasible solution (the algorithm's output).
+    pub forest: ForestSolution,
+    /// The realization of *all* accepted merges (before minimal-subset
+    /// selection) — the analogue of Algorithm 1's `F_imax`.
+    pub raw: ForestSolution,
+    /// Itemized round accounting.
+    pub rounds: RoundLedger,
+    /// Number of merge phases executed (Lemma 4.4: `≤ 2k`).
+    pub phases: usize,
+    /// The merge log, in global order.
+    pub merges: Vec<DetMerge>,
+}
+
+/// Packs an accepted candidate for flooding.
+fn pack_candidate(c: &UpcastCandidate) -> FloodItem {
+    let payload = ((c.a as u128) << 64) | ((c.b as u128) << 40) | (c.edge.0 as u128);
+    FloodItem {
+        payload,
+        bits: 64,
+    }
+}
+
+/// Packs the phase growth `μ^{(j)}` (a non-negative dyadic).
+fn pack_mu(mu: Dyadic) -> FloodItem {
+    let (m, e) = mu.raw();
+    assert!(
+        (0..(1i128 << 80)).contains(&m) && e < 256,
+        "phase growth exceeds encoding"
+    );
+    FloodItem {
+        payload: (1u128 << 120) | ((m as u128) << 8) | e as u128,
+        bits: 96,
+    }
+}
+
+/// Solves DSF-IC with the deterministic distributed algorithm
+/// (Theorem 4.17: 2-approximate, `O(ks + t)` rounds).
+///
+/// # Errors
+///
+/// Propagates CONGEST model violations from the simulator (none occur for
+/// well-formed instances; they indicate bugs, not user errors).
+///
+/// # Panics
+///
+/// Panics if internal invariants are violated (e.g. a phase without an
+/// activity-changing merge, which Lemma 4.4 rules out).
+pub fn solve_deterministic(
+    g: &WeightedGraph,
+    inst: &Instance,
+    cfg: &DetConfig,
+) -> Result<DetOutput, SimError> {
+    let mut congest = CongestConfig::for_graph(g);
+    if let Some(b) = cfg.bandwidth_bits {
+        congest.bandwidth_bits = b;
+    }
+    congest.metered_cut = cfg.metered_cut.iter().copied().collect();
+    let mut ledger = RoundLedger::new();
+
+    let minimal = inst.make_minimal();
+    let terms = minimal.terminals();
+    let tidx: HashMap<NodeId, u32> = terms
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u32))
+        .collect();
+
+    if terms.is_empty() {
+        return Ok(DetOutput {
+            forest: ForestSolution::empty(),
+            raw: ForestSolution::empty(),
+            rounds: ledger,
+            phases: 0,
+            merges: Vec::new(),
+        });
+    }
+
+    // Step 1: BFS tree + global broadcast of (terminal, label).
+    let bfs = build_bfs_tree(g, NodeId(0), &congest)?;
+    ledger.record("BFS tree construction", &bfs.metrics);
+    let label_items: Vec<Vec<FloodItem>> = g
+        .nodes()
+        .map(|v| match minimal.label(v) {
+            Some(l) => vec![FloodItem {
+                payload: ((v.0 as u128) << 32) | l.0 as u128,
+                bits: 64,
+            }],
+            None => Vec::new(),
+        })
+        .collect();
+    let lf = flood_items(g, label_items, &congest)?;
+    ledger.record("terminal label broadcast (Step 1)", &lf.metrics);
+
+    // Replicated bookkeeping + per-node region state.
+    let mut book = MoatBook::new(&minimal, &terms);
+    let n = g.n();
+    let mut owner: Vec<Option<u32>> = vec![None; n];
+    let mut rel: Vec<Dyadic> = vec![Dyadic::ZERO; n];
+    let mut parent_ptr: Vec<Option<NodeId>> = vec![None; n];
+    for (i, &t) in terms.iter().enumerate() {
+        owner[t.idx()] = Some(i as u32);
+    }
+
+    let mut merges: Vec<DetMerge> = Vec::new();
+    let mut accepted_all: Vec<UpcastCandidate> = Vec::new();
+    let mut phase = 0usize;
+
+    while book.active_moats() > 0 {
+        phase += 1;
+        assert!(
+            phase <= cfg.max_phases && phase <= 2 * minimal.k() + 1,
+            "phase count exceeds Lemma 4.4 bound"
+        );
+
+        // Stage a: terminal decomposition (Lemma 4.8).
+        let status: Vec<VorStatus> = g
+            .nodes()
+            .map(|u| match owner[u.idx()] {
+                Some(i) => {
+                    if book.moat_active(i as usize) {
+                        VorStatus::Source {
+                            owner: i,
+                            offset: rel[u.idx()],
+                        }
+                    } else {
+                        VorStatus::Blocked
+                    }
+                }
+                None => VorStatus::Free,
+            })
+            .collect();
+        let vor = decompose(g, &status, &congest)?;
+        ledger.record(format!("phase {phase}: terminal decomposition"), &vor.metrics);
+        ledger.charge(
+            format!("phase {phase}: BF termination detection O(D)"),
+            bfs.height() as u64,
+        );
+
+        // Combined view of this phase's (owner, offset, active?) per node.
+        let view = |u: usize| -> Option<(u32, Dyadic, bool)> {
+            match owner[u] {
+                Some(i) => {
+                    let active = status[u] != VorStatus::Blocked;
+                    Some((i, rel[u], active))
+                }
+                None => vor.tentative[u].map(|(off, i, _)| (i, off, true)),
+            }
+        };
+
+        // Stage b: candidate proposal over boundary edges (Def. 4.11).
+        let mut local: Vec<Vec<UpcastCandidate>> = vec![Vec::new(); n];
+        for (ei, e) in g.edges().iter().enumerate() {
+            let (u, w) = (e.u.idx(), e.v.idx());
+            let (Some((iu, offu, au)), Some((iw, offw, aw))) = (view(u), view(w)) else {
+                continue;
+            };
+            if iu == iw || (!au && !aw) {
+                continue;
+            }
+            let gap = offu + Dyadic::from_weight(e.w) + offw;
+            let mu = if au && aw { gap.half() } else { gap };
+            let (a, b) = if iu < iw { (iu, iw) } else { (iw, iu) };
+            local[u.min(w)].push(UpcastCandidate {
+                mu,
+                a,
+                b,
+                edge: EdgeId(ei as u32),
+            });
+        }
+        ledger.charge(format!("phase {phase}: boundary exchange"), 1);
+
+        // Stage c: filtered collection with phase-end detection (Cor 4.16).
+        let prior: Vec<u32> = (0..terms.len())
+            .map(|i| book.moats.find_const(i) as u32)
+            .collect();
+        let mut sim = book.clone();
+        let verdict = move |c: &UpcastCandidate| {
+            let (involved_inactive, new_active) = sim.apply(c.a as usize, c.b as usize);
+            if involved_inactive || !new_active {
+                UpcastRootVerdict::AcceptAndStop
+            } else {
+                UpcastRootVerdict::Accept
+            }
+        };
+        let up = filtered_upcast(
+            g,
+            &bfs.parent,
+            &bfs.children,
+            local,
+            &prior,
+            UpcastMode::PhaseDetect(Box::new(verdict)),
+            &congest,
+        )?;
+        ledger.record(format!("phase {phase}: filtered merge collection"), &up.metrics);
+        ledger.charge(
+            format!("phase {phase}: collection termination O(D)"),
+            bfs.height() as u64,
+        );
+        assert!(
+            up.stopped_early && !up.accepted.is_empty(),
+            "every phase ends with an activity-changing merge"
+        );
+        let mu_phase = up.accepted.last().expect("nonempty").mu;
+        debug_assert!(!mu_phase.is_negative(), "negative phase growth");
+
+        // Stage d: flood F_c^{(j)} and μ^{(j)} from the root.
+        let mut items: Vec<FloodItem> = up.accepted.iter().map(pack_candidate).collect();
+        items.push(pack_mu(mu_phase));
+        let mut initial = vec![Vec::new(); n];
+        initial[bfs.root.idx()] = items;
+        let fl = flood_items(g, initial, &congest)?;
+        ledger.record(format!("phase {phase}: broadcast F_c^(j)"), &fl.metrics);
+
+        // Local updates (radii, capture, parents) — act must be read at
+        // phase start, i.e. before merges are applied to `book`.
+        for u in 0..n {
+            match owner[u] {
+                Some(_) => {
+                    if matches!(status[u], VorStatus::Source { .. }) {
+                        rel[u] -= mu_phase;
+                    }
+                }
+                None => {
+                    if let Some((off, i, par)) = vor.tentative[u] {
+                        if off <= mu_phase {
+                            owner[u] = Some(i);
+                            rel[u] = off - mu_phase;
+                            parent_ptr[u] = Some(par);
+                        }
+                    }
+                }
+            }
+        }
+        // (Terminals are Voronoi sources, so their radii grew in the loop
+        // above: rad(v) += μ ⟺ rel(v) −= μ.)
+
+        // Apply merges to the canonical bookkeeping.
+        for c in &up.accepted {
+            book.apply(c.a as usize, c.b as usize);
+            merges.push(DetMerge {
+                v: terms[c.a as usize],
+                w: terms[c.b as usize],
+                mu: c.mu,
+                phase,
+                edge: c.edge,
+            });
+            accepted_all.push(*c);
+        }
+    }
+
+    // Final selection (E.1 Steps 4-6): minimal candidate subset in G_c,
+    // computed locally from global knowledge, then realized by marking
+    // region-tree paths.
+    let mut tb = GraphBuilder::new(terms.len());
+    for c in &accepted_all {
+        tb.add_edge(NodeId(c.a), NodeId(c.b), 1)
+            .expect("accepted merges form a forest");
+    }
+    let tg = tb.build_unchecked();
+    let mut ib = InstanceBuilder::new(&tg);
+    for comp in minimal.components() {
+        let mapped: Vec<NodeId> = comp.iter().map(|t| NodeId(tidx[t])).collect();
+        ib = ib.component(&mapped);
+    }
+    let inst_t = ib.build().expect("components are disjoint");
+    let all_tg: ForestSolution = (0..tg.m() as u32).map(EdgeId).collect();
+    let fmin = all_tg.prune_to_minimal(&tg, &inst_t);
+
+    let mut max_hops = 0u64;
+    let mut realize = |cands: &[usize]| -> ForestSolution {
+        let mut edges: Vec<EdgeId> = Vec::new();
+        for &ci in cands {
+            let c = &accepted_all[ci];
+            edges.push(c.edge);
+            let e = g.edge(c.edge);
+            for endpoint in [e.u, e.v] {
+                let mut cur = endpoint;
+                let mut hops = 0u64;
+                while let Some(p) = parent_ptr[cur.idx()] {
+                    edges.push(g.find_edge(cur, p).expect("parent is a neighbor"));
+                    cur = p;
+                    hops += 1;
+                    assert!(hops <= g.n() as u64, "parent pointer loop");
+                }
+                max_hops = max_hops.max(hops);
+            }
+        }
+        ForestSolution::from_edges(edges)
+    };
+    let raw = realize(&(0..accepted_all.len()).collect::<Vec<_>>());
+    let forest = realize(&fmin.edges().iter().map(|e| e.idx()).collect::<Vec<_>>());
+    ledger.charge(
+        "final selection: token marking O(s + D)",
+        max_hops + bfs.height() as u64,
+    );
+
+    Ok(DetOutput {
+        forest,
+        raw,
+        rounds: ledger,
+        phases: phase,
+        merges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::generators;
+    use dsf_steiner::{exact, moat, random_instance};
+
+    fn check_instance(g: &WeightedGraph, inst: &Instance, tag: &str) -> DetOutput {
+        let out = solve_deterministic(g, inst, &DetConfig::default()).unwrap();
+        assert!(inst.is_feasible(g, &out.forest), "{tag}: infeasible");
+        assert!(out.forest.is_forest(g), "{tag}: cyclic output");
+        let central = moat::grow(g, inst);
+        assert_eq!(
+            out.forest.weight(g),
+            central.forest.weight(g),
+            "{tag}: weight differs from centralized Algorithm 1"
+        );
+        // Same merge pair multiset, in the same global order.
+        let dist_pairs: Vec<(NodeId, NodeId)> = out.merges.iter().map(|m| (m.v, m.w)).collect();
+        let cent_pairs: Vec<(NodeId, NodeId)> =
+            central.merges.iter().map(|m| (m.v, m.w)).collect();
+        assert_eq!(dist_pairs, cent_pairs, "{tag}: merge order differs");
+        out
+    }
+
+    #[test]
+    fn matches_centralized_on_small_instances() {
+        for seed in 0..8 {
+            let g = generators::gnp_connected(16, 0.25, 10, seed);
+            let inst = random_instance(&g, 2, 2, seed + 7);
+            check_instance(&g, &inst, &format!("seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_geometric_graphs() {
+        for seed in 0..4 {
+            let g = generators::random_geometric(24, 0.3, seed);
+            let inst = random_instance(&g, 3, 3, seed);
+            check_instance(&g, &inst, &format!("geo seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn two_approximation_vs_exact() {
+        for seed in 0..6 {
+            let g = generators::gnp_connected(14, 0.3, 8, seed + 50);
+            let inst = random_instance(&g, 3, 2, seed);
+            let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+            let opt = exact::solve(&g, &inst).weight;
+            assert!(
+                out.forest.weight(&g) <= 2 * opt,
+                "seed {seed}: {} > 2·{opt}",
+                out.forest.weight(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn phase_count_respects_lemma_4_4() {
+        for seed in 0..5 {
+            let g = generators::gnp_connected(20, 0.2, 12, seed);
+            let k = 4;
+            let inst = random_instance(&g, k, 2, seed);
+            let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+            assert!(out.phases <= 2 * k, "seed {seed}: {} phases", out.phases);
+        }
+    }
+
+    #[test]
+    fn mst_specialization_is_exact() {
+        // k = 1, t = n: the output must be an exact MST (paper Section 1).
+        for seed in 0..5 {
+            let g = generators::gnp_connected(12, 0.3, 20, seed + 3);
+            let all: Vec<NodeId> = g.nodes().collect();
+            let inst = InstanceBuilder::new(&g).component(&all).build().unwrap();
+            let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+            let mst = dsf_graph::mst::kruskal(&g);
+            assert_eq!(out.forest.weight(&g), mst.weight, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_instances() {
+        let g = generators::path(4, 1);
+        let empty = InstanceBuilder::new(&g).build().unwrap();
+        let out = solve_deterministic(&g, &empty, &DetConfig::default()).unwrap();
+        assert!(out.forest.is_empty());
+        assert_eq!(out.phases, 0);
+
+        let single = InstanceBuilder::new(&g)
+            .component(&[NodeId(2)])
+            .build()
+            .unwrap();
+        let out = solve_deterministic(&g, &single, &DetConfig::default()).unwrap();
+        assert!(out.forest.is_empty());
+    }
+
+    #[test]
+    fn ledger_itemizes_phases() {
+        let g = generators::gnp_connected(15, 0.25, 6, 2);
+        let inst = random_instance(&g, 2, 2, 2);
+        let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+        let labels: Vec<&str> = out
+            .rounds
+            .entries()
+            .iter()
+            .map(|e| e.label.as_str())
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("BFS")));
+        assert!(labels.iter().any(|l| l.contains("terminal decomposition")));
+        assert!(labels.iter().any(|l| l.contains("filtered merge collection")));
+        assert!(out.rounds.total() > 0);
+        assert!(out.rounds.simulated() > 0);
+    }
+}

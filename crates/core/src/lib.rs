@@ -1,0 +1,29 @@
+//! The paper's contribution: distributed Steiner forest construction in the
+//! CONGEST model (Lenzen & Patt-Shamir, PODC 2014).
+//!
+//! * [`det`] — the deterministic moat-growing emulation (Section 4.1,
+//!   Theorem 4.17): 2-approximate in `O(ks + t)` rounds, plus the
+//!   growth-phase variant of Section 4.2 giving `(2+ε)` with activity
+//!   changes confined to `O(log n/ε)` checkpoints.
+//! * [`randomized`] — the tree-embedding based algorithm (Section 5,
+//!   Theorem 5.2): `O(log n)`-approximate in `Õ(k + min{s,√n} + D)` rounds
+//!   w.h.p., with pipelined filtered routing and the `√n` truncation +
+//!   F-reduced second stage.
+//! * [`transforms`] — the input transformations of Lemmas 2.3 and 2.4.
+//! * [`primitives`] — the shared CONGEST building blocks: BFS tree,
+//!   flood-set broadcast, and the pipelined filtered upcast of
+//!   Lemma 4.14 / Corollary 4.16 (the MST-style "edge elimination"
+//!   technique of Garay–Kutten–Peleg).
+//!
+//! Every stage is executed message-by-message in the [`dsf_congest`]
+//! simulator with the `O(log n)`-bit cap enforced; the returned
+//! [`dsf_congest::RoundLedger`] itemizes each stage's simulated rounds and
+//! the explicitly charged control-flow surcharges.
+
+pub mod det;
+pub mod primitives;
+pub mod randomized;
+pub mod transforms;
+
+pub use det::{solve_deterministic, DetConfig, DetOutput};
+pub use randomized::{solve_randomized, RandConfig, RandOutput};

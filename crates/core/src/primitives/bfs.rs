@@ -1,0 +1,162 @@
+//! Distributed BFS-tree construction.
+//!
+//! The root floods a `Join(depth)` wave; each node adopts as parent the
+//! smallest-id neighbor among the first-round senders (deterministic, and
+//! identical to [`dsf_graph::bfs::tree`], which the tests verify). Takes
+//! `D + O(1)` rounds.
+
+use dsf_congest::{id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics, SimError};
+use dsf_graph::{NodeId, WeightedGraph};
+
+/// The wave message: the sender's depth.
+#[derive(Debug, Clone, Copy)]
+struct Join {
+    depth: u32,
+}
+
+impl Message for Join {
+    fn encoded_bits(&self) -> usize {
+        id_bits(self.depth as usize + 1)
+    }
+}
+
+#[derive(Debug)]
+struct BfsNode {
+    root: NodeId,
+    parent: Option<NodeId>,
+    depth: u32,
+    joined: bool,
+    announced: bool,
+}
+
+impl Protocol for BfsNode {
+    type Msg = Join;
+
+    fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Join>) {
+        if ctx.id == self.root {
+            self.joined = true;
+            self.depth = 0;
+            self.announced = true;
+            out.send_all(ctx, Join { depth: 0 });
+        }
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Join)], out: &mut Outbox<Join>) {
+        if !self.joined {
+            // Adopt the smallest-id sender of the earliest wave.
+            if let Some(&(from, msg)) = inbox.iter().min_by_key(|&&(from, m)| (m.depth, from)) {
+                self.joined = true;
+                self.parent = Some(from);
+                self.depth = msg.depth + 1;
+            }
+        }
+        if self.joined && !self.announced {
+            self.announced = true;
+            out.send_all(ctx, Join { depth: self.depth });
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.joined
+    }
+}
+
+/// Result of the BFS stage.
+#[derive(Debug, Clone)]
+pub struct BfsOutcome {
+    /// The root used.
+    pub root: NodeId,
+    /// Parent per node (`None` at the root).
+    pub parent: Vec<Option<NodeId>>,
+    /// Depth per node.
+    pub depth: Vec<u32>,
+    /// Children lists per node.
+    pub children: Vec<Vec<NodeId>>,
+    /// Simulation metrics of the stage.
+    pub metrics: RunMetrics,
+}
+
+impl BfsOutcome {
+    /// Height of the tree.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Builds a BFS tree rooted at `root` by simulation.
+///
+/// # Errors
+///
+/// Propagates simulator errors (cannot occur for this protocol under the
+/// default bandwidth).
+pub fn build_bfs_tree(
+    g: &WeightedGraph,
+    root: NodeId,
+    cfg: &CongestConfig,
+) -> Result<BfsOutcome, SimError> {
+    let nodes: Vec<BfsNode> = g
+        .nodes()
+        .map(|_| BfsNode {
+            root,
+            parent: None,
+            depth: u32::MAX,
+            joined: false,
+            announced: false,
+        })
+        .collect();
+    let res = run(g, nodes, cfg)?;
+    let parent: Vec<Option<NodeId>> = res.states.iter().map(|s| s.parent).collect();
+    let depth: Vec<u32> = res.states.iter().map(|s| s.depth).collect();
+    let mut children = vec![Vec::new(); g.n()];
+    for v in g.nodes() {
+        if let Some(p) = parent[v.idx()] {
+            children[p.idx()].push(v);
+        }
+    }
+    Ok(BfsOutcome {
+        root,
+        parent,
+        depth,
+        children,
+        metrics: res.metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::{bfs, generators};
+
+    #[test]
+    fn matches_centralized_bfs_tree() {
+        for seed in 0..5 {
+            let g = generators::gnp_connected(25, 0.15, 9, seed);
+            let out = build_bfs_tree(&g, NodeId(0), &CongestConfig::for_graph(&g)).unwrap();
+            let reference = bfs::tree(&g, NodeId(0));
+            assert_eq!(out.parent, reference.parent, "seed {seed}");
+            assert_eq!(out.depth, reference.depth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rounds_close_to_eccentricity() {
+        let g = generators::path(20, 1);
+        let out = build_bfs_tree(&g, NodeId(0), &CongestConfig::for_graph(&g)).unwrap();
+        assert_eq!(out.height(), 19);
+        // One round per BFS layer plus the final drain.
+        assert!(out.metrics.rounds as u32 >= 19);
+        assert!(out.metrics.rounds as u32 <= 21);
+    }
+
+    #[test]
+    fn children_are_consistent() {
+        let g = generators::grid(4, 5, 3, 2);
+        let out = build_bfs_tree(&g, NodeId(7), &CongestConfig::for_graph(&g)).unwrap();
+        for v in g.nodes() {
+            for &c in &out.children[v.idx()] {
+                assert_eq!(out.parent[c.idx()], Some(v));
+                assert_eq!(out.depth[c.idx()], out.depth[v.idx()] + 1);
+            }
+        }
+    }
+}

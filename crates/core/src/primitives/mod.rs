@@ -1,0 +1,11 @@
+//! Shared CONGEST building blocks.
+
+mod bfs;
+mod flood;
+mod upcast;
+
+pub use bfs::{build_bfs_tree, BfsOutcome};
+pub use flood::{flood_items, FloodItem, FloodOutcome};
+pub use upcast::{
+    filtered_upcast, UpcastCandidate, UpcastMode, UpcastOutcome, UpcastRootVerdict,
+};

@@ -1,0 +1,394 @@
+//! Distributed input transformations.
+//!
+//! * [`cr_to_ic`] — Lemma 2.3: converts connection requests (DSF-CR) into
+//!   equivalent input components (DSF-IC) in `O(t + D)` rounds: requests
+//!   stream up a BFS tree with cycle filtering (a forest on `T` has at most
+//!   `t − 1` edges), the surviving forest is broadcast, and every node
+//!   locally labels each terminal with the smallest terminal id of its
+//!   connectivity class.
+//! * [`minimalize`] — Lemma 2.4: drops singleton components in `O(k + D)`
+//!   rounds: for each label at most two `(λ, terminal)` witnesses are
+//!   forwarded towards the root, which broadcasts the set of labels with
+//!   at least two terminals.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dsf_congest::{id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RoundLedger, SimError};
+use dsf_graph::dyadic::Dyadic;
+use dsf_graph::union_find::UnionFind;
+use dsf_graph::{EdgeId, NodeId, WeightedGraph};
+use dsf_steiner::{ConnectionRequests, Instance, InstanceBuilder};
+
+use crate::primitives::{build_bfs_tree, flood_items, filtered_upcast, FloodItem, UpcastCandidate, UpcastMode};
+
+/// Lemma 2.3: transforms a DSF-CR input into an equivalent DSF-IC instance.
+///
+/// Returns the instance together with the round ledger
+/// (`O(t + D)` total).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn cr_to_ic(
+    g: &WeightedGraph,
+    cr: &ConnectionRequests,
+    cfg: &CongestConfig,
+) -> Result<(Instance, RoundLedger), SimError> {
+    let mut ledger = RoundLedger::new();
+    let terminals = cr.terminals();
+    let tidx: HashMap<NodeId, u32> = terminals
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u32))
+        .collect();
+
+    let bfs = build_bfs_tree(g, NodeId(0), cfg)?;
+    ledger.record("BFS tree construction", &bfs.metrics);
+
+    // Requests as zero-weight candidates over terminal indices; the
+    // filtered upcast keeps a spanning forest of the request graph
+    // (at most t−1 items survive — the paper's pipelining argument).
+    let mut local: Vec<Vec<UpcastCandidate>> = vec![Vec::new(); g.n()];
+    let mut synth = 0u32;
+    for v in g.nodes() {
+        for &w in cr.of(v) {
+            let (a, b) = {
+                let (ia, ib) = (tidx[&v], tidx[&w]);
+                if ia < ib {
+                    (ia, ib)
+                } else {
+                    (ib, ia)
+                }
+            };
+            local[v.idx()].push(UpcastCandidate {
+                mu: Dyadic::ZERO,
+                a,
+                b,
+                edge: EdgeId(synth), // synthetic id: only a tiebreaker here
+            });
+            synth += 1;
+        }
+    }
+    let prior: Vec<u32> = (0..terminals.len() as u32).collect();
+    let up = filtered_upcast(
+        g,
+        &bfs.parent,
+        &bfs.children,
+        local,
+        &prior,
+        UpcastMode::DrainAll,
+        cfg,
+    )?;
+    ledger.record("request forest convergecast (≤ t−1 items)", &up.metrics);
+    ledger.charge("convergecast termination O(D)", bfs.height() as u64);
+
+    // Broadcast the surviving forest.
+    let items: Vec<FloodItem> = up
+        .accepted
+        .iter()
+        .map(|c| FloodItem {
+            payload: ((c.a as u128) << 32) | c.b as u128,
+            bits: 2 * id_bits(g.n()).max(16) as u16,
+        })
+        .collect();
+    let mut initial = vec![Vec::new(); g.n()];
+    initial[bfs.root.idx()] = items;
+    let fl = flood_items(g, initial, cfg)?;
+    ledger.record("request forest broadcast", &fl.metrics);
+
+    // Local labeling: connectivity classes of the request forest, labeled
+    // by smallest terminal id.
+    let mut uf = UnionFind::new(terminals.len());
+    for c in &up.accepted {
+        uf.union(c.a as usize, c.b as usize);
+    }
+    let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for (i, &t) in terminals.iter().enumerate() {
+        groups.entry(uf.find(i)).or_default().push(t);
+    }
+    let mut keys: Vec<usize> = groups.keys().copied().collect();
+    keys.sort_by_key(|&r| groups[&r][0]);
+    let mut b = InstanceBuilder::new(g);
+    for key in keys {
+        b = b.component(&groups[&key]);
+    }
+    let inst = b.build().expect("request classes are disjoint");
+    Ok((inst, ledger))
+}
+
+/// A `(label, witness-or-many)` report flowing towards the root.
+#[derive(Debug, Clone, Copy)]
+enum MinMsg {
+    /// A distinct terminal witness for a label.
+    Witness { label: u32, term: NodeId },
+    /// The label is known to have ≥ 2 terminals.
+    Many { label: u32 },
+}
+
+impl Message for MinMsg {
+    fn encoded_bits(&self) -> usize {
+        match self {
+            MinMsg::Witness { label, term } => {
+                1 + id_bits(*label as usize + 1) + id_bits(term.0 as usize + 1)
+            }
+            MinMsg::Many { label } => 1 + id_bits(*label as usize + 1),
+        }
+    }
+}
+
+/// Convergecast node: forwards at most two witnesses per label (the second
+/// is collapsed into `Many`), so each node sends `O(k)` messages total.
+#[derive(Debug)]
+struct MinNode {
+    parent: Option<NodeId>,
+    /// Label -> witnesses seen (capped at 2) and whether `Many` was seen.
+    seen: HashMap<u32, (Vec<NodeId>, bool)>,
+    outq: VecDeque<MinMsg>,
+    /// Labels already escalated to `Many` upstream.
+    sent_many: HashSet<u32>,
+    /// Witnesses already forwarded.
+    sent_wit: HashSet<(u32, NodeId)>,
+}
+
+impl MinNode {
+    fn ingest(&mut self, msg: MinMsg) {
+        match msg {
+            MinMsg::Witness { label, term } => {
+                let entry = self.seen.entry(label).or_default();
+                if entry.1 || entry.0.contains(&term) {
+                    return;
+                }
+                entry.0.push(term);
+                if entry.0.len() >= 2 {
+                    entry.1 = true;
+                    if self.sent_many.insert(label) {
+                        self.outq.push_back(MinMsg::Many { label });
+                    }
+                } else if self.sent_wit.insert((label, term)) {
+                    self.outq.push_back(MinMsg::Witness { label, term });
+                }
+            }
+            MinMsg::Many { label } => {
+                let entry = self.seen.entry(label).or_default();
+                if !entry.1 {
+                    entry.1 = true;
+                    if self.sent_many.insert(label) {
+                        self.outq.push_back(MinMsg::Many { label });
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, out: &mut Outbox<MinMsg>) {
+        if let Some(p) = self.parent {
+            if let Some(m) = self.outq.pop_front() {
+                out.send(p, m);
+            }
+        } else {
+            self.outq.clear();
+        }
+    }
+}
+
+impl Protocol for MinNode {
+    type Msg = MinMsg;
+
+    fn init(&mut self, _ctx: &NodeCtx, out: &mut Outbox<MinMsg>) {
+        self.flush(out);
+    }
+
+    fn round(&mut self, _ctx: &NodeCtx, inbox: &[(NodeId, MinMsg)], out: &mut Outbox<MinMsg>) {
+        for &(_, msg) in inbox {
+            self.ingest(msg);
+        }
+        self.flush(out);
+    }
+
+    fn done(&self) -> bool {
+        self.outq.is_empty()
+    }
+}
+
+/// Determines which labels currently have **two or more** distinct holders
+/// (Lemma 2.4's convergecast, also Step 3a of the randomized algorithm):
+/// `holders[v]` lists the labels node `v` currently holds. Runs the capped
+/// convergecast (`≤ 2` witnesses per label) followed by a broadcast of the
+/// multi-holder label set; `O(k + D)` rounds, recorded into `ledger`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn multi_holder_labels(
+    g: &WeightedGraph,
+    bfs: &crate::primitives::BfsOutcome,
+    holders: &[Vec<u32>],
+    cfg: &CongestConfig,
+    ledger: &mut RoundLedger,
+) -> Result<HashSet<u32>, SimError> {
+    let nodes: Vec<MinNode> = g
+        .nodes()
+        .map(|v| {
+            let mut node = MinNode {
+                parent: bfs.parent[v.idx()],
+                seen: HashMap::new(),
+                outq: VecDeque::new(),
+                sent_many: HashSet::new(),
+                sent_wit: HashSet::new(),
+            };
+            for &l in &holders[v.idx()] {
+                node.ingest(MinMsg::Witness { label: l, term: v });
+            }
+            node
+        })
+        .collect();
+    let res = run(g, nodes, cfg)?;
+    ledger.record("label multiplicity convergecast (≤ 2 per label)", &res.metrics);
+    ledger.charge("convergecast termination O(D)", bfs.height() as u64);
+
+    let root_state = &res.states[bfs.root.idx()];
+    let keep: HashSet<u32> = root_state
+        .seen
+        .iter()
+        .filter(|(_, (wits, many))| *many || wits.len() >= 2)
+        .map(|(&l, _)| l)
+        .collect();
+    let items: Vec<FloodItem> = keep
+        .iter()
+        .map(|&l| FloodItem {
+            payload: l as u128,
+            bits: id_bits(keep.len().max(2)).max(8) as u16,
+        })
+        .collect();
+    let mut initial = vec![Vec::new(); g.n()];
+    initial[bfs.root.idx()] = items;
+    let fl = flood_items(g, initial, cfg)?;
+    ledger.record("multi-holder label broadcast (k items)", &fl.metrics);
+    Ok(keep)
+}
+
+/// Lemma 2.4: produces the equivalent minimal instance (singleton
+/// components dropped) in `O(k + D)` rounds.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn minimalize(
+    g: &WeightedGraph,
+    inst: &Instance,
+    cfg: &CongestConfig,
+) -> Result<(Instance, RoundLedger), SimError> {
+    let mut ledger = RoundLedger::new();
+    let bfs = build_bfs_tree(g, NodeId(0), cfg)?;
+    ledger.record("BFS tree construction", &bfs.metrics);
+
+    let holders: Vec<Vec<u32>> = g
+        .nodes()
+        .map(|v| inst.label(v).map(|l| vec![l.0]).unwrap_or_default())
+        .collect();
+    let keep = multi_holder_labels(g, &bfs, &holders, cfg, &mut ledger)?;
+
+    // Locally drop labels outside `keep`.
+    let mut b = InstanceBuilder::new(g);
+    for (li, comp) in inst.components().iter().enumerate() {
+        if keep.contains(&(li as u32)) {
+            b = b.component(comp);
+        }
+    }
+    Ok((b.build().expect("subset of a valid instance"), ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::generators;
+
+    #[test]
+    fn cr_to_ic_matches_centralized_reference() {
+        let g = generators::gnp_connected(20, 0.2, 8, 3);
+        let mut cr = ConnectionRequests::new(g.n());
+        cr.request(NodeId(0), NodeId(5));
+        cr.request(NodeId(5), NodeId(9));
+        cr.request(NodeId(2), NodeId(11));
+        cr.request(NodeId(11), NodeId(2)); // symmetric duplicate
+        let cfg = CongestConfig::for_graph(&g);
+        let (inst, ledger) = cr_to_ic(&g, &cr, &cfg).unwrap();
+        let reference = cr.to_components(&g);
+        assert_eq!(inst.k(), reference.k());
+        for v in g.nodes() {
+            assert_eq!(
+                inst.label(v).is_some(),
+                reference.label(v).is_some(),
+                "terminal status differs at {v}"
+            );
+        }
+        // 0,5,9 transitively share a component.
+        assert_eq!(inst.label(NodeId(0)), inst.label(NodeId(9)));
+        assert_ne!(inst.label(NodeId(0)), inst.label(NodeId(2)));
+        assert!(ledger.total() > 0);
+    }
+
+    #[test]
+    fn cr_to_ic_rounds_scale_with_t_plus_d() {
+        // Many requests on a path: rounds must stay near D + t, not D·t.
+        let n = 24;
+        let g = generators::path(n, 1);
+        let mut cr = ConnectionRequests::new(n);
+        for i in 0..10u32 {
+            cr.request(NodeId(i), NodeId(i + 10));
+        }
+        let cfg = CongestConfig::for_graph(&g);
+        let (_, ledger) = cr_to_ic(&g, &cr, &cfg).unwrap();
+        let bound = (3 * (n as u64 - 1) + 3 * 20 + 20) as u64; // ~3D + 3t slack
+        assert!(ledger.total() <= bound, "{} > {bound}", ledger.total());
+    }
+
+    #[test]
+    fn minimalize_drops_singletons() {
+        let g = generators::gnp_connected(15, 0.25, 6, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0)])
+            .component(&[NodeId(1), NodeId(2)])
+            .component(&[NodeId(5)])
+            .component(&[NodeId(7), NodeId(8), NodeId(9)])
+            .build()
+            .unwrap();
+        let cfg = CongestConfig::for_graph(&g);
+        let (min, ledger) = minimalize(&g, &inst, &cfg).unwrap();
+        assert_eq!(min.k(), 2);
+        assert!(min.is_minimal());
+        assert_eq!(min.label(NodeId(0)), None);
+        assert_eq!(min.label(NodeId(5)), None);
+        assert!(min.label(NodeId(8)).is_some());
+        assert!(ledger.total() > 0);
+    }
+
+    #[test]
+    fn minimalize_is_identity_on_minimal_instances() {
+        let g = generators::gnp_connected(12, 0.3, 5, 2);
+        let inst = dsf_steiner::random_instance(&g, 3, 2, 2);
+        let cfg = CongestConfig::for_graph(&g);
+        let (min, _) = minimalize(&g, &inst, &cfg).unwrap();
+        assert_eq!(min.k(), inst.k());
+        assert_eq!(min.t(), inst.t());
+    }
+
+    #[test]
+    fn minimalize_message_budget_is_k_bound() {
+        // Component count small, terminal count large: convergecast
+        // messages must scale with k, not t.
+        let n = 30;
+        let g = generators::path(n, 1);
+        let all: Vec<NodeId> = g.nodes().collect();
+        let inst = InstanceBuilder::new(&g).component(&all).build().unwrap();
+        let cfg = CongestConfig::for_graph(&g);
+        let (_, ledger) = minimalize(&g, &inst, &cfg).unwrap();
+        // One label: every node forwards at most 2 witnesses + 1 many.
+        let conv = &ledger.entries()[1];
+        assert!(
+            conv.messages <= 3 * n as u64,
+            "messages {} not O(k·D)",
+            conv.messages
+        );
+    }
+}

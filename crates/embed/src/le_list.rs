@@ -1,0 +1,232 @@
+//! Least-element (LE) lists.
+//!
+//! The LE list of `v` is the Pareto frontier of `(distance from v, rank)`:
+//! node `w` appears iff `w` has the strictly highest rank among all nodes
+//! within distance `wd(v, w)` of `v`. Every level-`i` ancestor of `v` is an
+//! LE-list entry (the highest-rank node in the ball `B(v, β·2^i)` is by
+//! definition rank-maximal at its own distance), so the whole ancestor
+//! chain of the virtual tree can be read off the list locally.
+//!
+//! With independent random ranks, `E[|LE list|] = H_n = O(log n)` — the
+//! classic backwards-analysis argument — which the distributed protocol
+//! relies on for its message bounds (and experiment E6 verifies).
+
+use dsf_graph::dijkstra;
+use dsf_graph::{NodeId, Weight, WeightedGraph};
+
+/// One entry of an LE list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeEntry {
+    /// The entry node.
+    pub node: NodeId,
+    /// Weighted distance from the list owner.
+    pub dist: Weight,
+    /// The entry node's rank.
+    pub rank: u32,
+    /// First hop from the owner towards `node` (`None` when `node` is the
+    /// owner itself).
+    pub next_hop: Option<NodeId>,
+}
+
+/// An LE list, sorted by ascending distance (hence ascending rank).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeList {
+    entries: Vec<LeEntry>,
+}
+
+impl LeList {
+    /// Creates a list from entries already forming a Pareto frontier.
+    pub(crate) fn from_sorted(entries: Vec<LeEntry>) -> Self {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| w[0].dist <= w[1].dist && w[0].rank < w[1].rank));
+        LeList { entries }
+    }
+
+    /// The entries, ascending by distance.
+    pub fn entries(&self) -> &[LeEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The highest-rank node within distance `limit`, i.e. the last entry
+    /// with `dist ≤ limit`.
+    pub fn ancestor_within(&self, limit_test: impl Fn(Weight) -> bool) -> Option<&LeEntry> {
+        self.entries.iter().rev().find(|e| limit_test(e.dist))
+    }
+
+    /// Tries to insert `(node, dist, rank, hop)` into the Pareto frontier.
+    /// Returns `true` if the entry was added (and dominated entries pruned).
+    ///
+    /// Frontier rule: keep iff no existing entry has `dist ≤ new.dist` and
+    /// `rank > new.rank`; then remove entries with `dist ≥ new.dist` and
+    /// `rank < new.rank`. Equal node: keep the smaller distance.
+    pub(crate) fn insert(&mut self, cand: LeEntry) -> bool {
+        if let Some(existing) = self.entries.iter().position(|e| e.node == cand.node) {
+            if self.entries[existing].dist <= cand.dist {
+                return false;
+            }
+            self.entries.remove(existing);
+        }
+        let dominated = self
+            .entries
+            .iter()
+            .any(|e| e.dist <= cand.dist && e.rank > cand.rank);
+        if dominated {
+            return false;
+        }
+        self.entries
+            .retain(|e| !(e.dist >= cand.dist && e.rank < cand.rank));
+        let pos = self
+            .entries
+            .partition_point(|e| (e.dist, e.rank) < (cand.dist, cand.rank));
+        self.entries.insert(pos, cand);
+        true
+    }
+}
+
+/// Centralized LE-list computation: one Dijkstra per node. `O(n·m·log n)`.
+///
+/// The distributed protocol ([`crate::distributed`]) must produce exactly
+/// these lists; the equivalence is property-tested.
+pub fn le_lists(g: &WeightedGraph, ranks: &[u32]) -> Vec<LeList> {
+    assert_eq!(ranks.len(), g.n(), "one rank per node");
+    g.nodes()
+        .map(|v| {
+            let sp = dijkstra::shortest_paths(g, v);
+            let mut order: Vec<NodeId> = g.nodes().collect();
+            order.sort_by_key(|&u| (sp.dist[u.idx()], std::cmp::Reverse(ranks[u.idx()])));
+            let mut best_rank: Option<u32> = None;
+            let mut entries = Vec::new();
+            for u in order {
+                let r = ranks[u.idx()];
+                if best_rank.map_or(true, |b| r > b) {
+                    best_rank = Some(r);
+                    let next_hop = (u != v).then(|| {
+                        // First hop: walk the parent chain from u back to v.
+                        let mut cur = u;
+                        while let Some((p, _)) = sp.parent[cur.idx()] {
+                            if p == v {
+                                break;
+                            }
+                            cur = p;
+                        }
+                        cur
+                    });
+                    entries.push(LeEntry {
+                        node: u,
+                        dist: sp.dist[u.idx()],
+                        rank: r,
+                        next_hop,
+                    });
+                }
+            }
+            LeList::from_sorted(entries)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::generators;
+
+    #[test]
+    fn own_node_is_first_entry() {
+        let g = generators::gnp_connected(15, 0.3, 8, 4);
+        let ranks = crate::random_ranks(15, 4);
+        let lists = le_lists(&g, &ranks);
+        for v in g.nodes() {
+            let first = lists[v.idx()].entries()[0];
+            assert_eq!(first.node, v);
+            assert_eq!(first.dist, 0);
+            assert_eq!(first.next_hop, None);
+        }
+    }
+
+    #[test]
+    fn last_entry_is_global_max_rank() {
+        let g = generators::gnp_connected(15, 0.3, 8, 5);
+        let ranks = crate::random_ranks(15, 5);
+        let max_rank_node = (0..15).max_by_key(|&i| ranks[i]).unwrap();
+        let lists = le_lists(&g, &ranks);
+        for v in g.nodes() {
+            let last = lists[v.idx()].entries().last().unwrap();
+            assert_eq!(last.node, NodeId::from(max_rank_node));
+        }
+    }
+
+    #[test]
+    fn entries_form_pareto_frontier() {
+        let g = generators::random_geometric(25, 0.35, 6);
+        let ranks = crate::random_ranks(25, 6);
+        let lists = le_lists(&g, &ranks);
+        for v in g.nodes() {
+            let es = lists[v.idx()].entries();
+            for w in es.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+                assert!(w[0].rank < w[1].rank);
+            }
+        }
+    }
+
+    #[test]
+    fn average_list_size_is_logarithmic() {
+        let n = 120;
+        let g = generators::gnp_connected(n, 0.05, 20, 7);
+        let mut total = 0usize;
+        for seed in 0..5 {
+            let ranks = crate::random_ranks(n, seed);
+            let lists = le_lists(&g, &ranks);
+            total += lists.iter().map(LeList::len).sum::<usize>();
+        }
+        let avg = total as f64 / (5 * n) as f64;
+        // H_120 ≈ 5.3; allow generous slack.
+        assert!(avg < 12.0, "avg LE list size {avg}");
+    }
+
+    #[test]
+    fn insert_maintains_frontier() {
+        let mut l = LeList::default();
+        let e = |node: u32, dist: Weight, rank: u32| LeEntry {
+            node: NodeId(node),
+            dist,
+            rank,
+            next_hop: None,
+        };
+        assert!(l.insert(e(0, 0, 5)));
+        assert!(l.insert(e(1, 3, 9)));
+        // Dominated: farther and lower rank.
+        assert!(!l.insert(e(2, 4, 7)));
+        // Dominates entry 1: closer, higher rank.
+        assert!(l.insert(e(3, 2, 11)));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.entries()[1].node, NodeId(3));
+        // Same node, better distance: replaces.
+        assert!(l.insert(e(3, 1, 11)));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.entries()[1].dist, 1);
+    }
+
+    #[test]
+    fn ancestor_within_limits() {
+        let g = generators::path(6, 2); // distances 0,2,4,6,8,10 from node 0
+        let ranks: Vec<u32> = vec![0, 1, 2, 3, 4, 5]; // increasing along path
+        let lists = le_lists(&g, &ranks);
+        // From node 0 every node is an LE entry (rank grows with distance).
+        assert_eq!(lists[0].len(), 6);
+        let a = lists[0].ancestor_within(|d| d <= 5).unwrap();
+        assert_eq!(a.node, NodeId(2));
+        let b = lists[0].ancestor_within(|d| d <= 100).unwrap();
+        assert_eq!(b.node, NodeId(5));
+    }
+}

@@ -1,0 +1,128 @@
+//! Unweighted breadth-first search: hop distances, BFS trees, eccentricity.
+//!
+//! The CONGEST round bounds are stated in terms of the *unweighted* diameter
+//! `D` — control information flows along edges ignoring weights — so BFS is
+//! the substrate of broadcast, convergecast and termination detection.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, WeightedGraph};
+
+/// Hop distances from `source` (`u32::MAX` if unreachable).
+pub fn distances(g: &WeightedGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[source.idx()] = 0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        for &(u, _) in g.neighbors(v) {
+            if dist[u.idx()] == u32::MAX {
+                dist[u.idx()] = dist[v.idx()] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// A rooted BFS tree: `parent[v]` is the tree parent (`None` at the root),
+/// with the deterministic rule that each node adopts its smallest-id
+/// neighbor at the previous BFS layer (matching the distributed construction
+/// in `dsf-core`).
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// The root node.
+    pub root: NodeId,
+    /// Parent pointers.
+    pub parent: Vec<Option<NodeId>>,
+    /// Hop depth of each node.
+    pub depth: Vec<u32>,
+}
+
+impl BfsTree {
+    /// Children lists derived from the parent pointers.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (v, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[p.idx()].push(NodeId::from(v));
+            }
+        }
+        ch
+    }
+
+    /// Height of the tree (max depth).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    }
+}
+
+/// Builds the deterministic BFS tree rooted at `root`.
+pub fn tree(g: &WeightedGraph, root: NodeId) -> BfsTree {
+    let depth = distances(g, root);
+    let mut parent = vec![None; g.n()];
+    for v in g.nodes() {
+        if v == root || depth[v.idx()] == u32::MAX {
+            continue;
+        }
+        // Smallest-id neighbor one layer closer to the root.
+        let p = g
+            .neighbors(v)
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(|u| depth[u.idx()] + 1 == depth[v.idx()])
+            .min()
+            .expect("bfs layer invariant");
+        parent[v.idx()] = Some(p);
+    }
+    BfsTree { root, parent, depth }
+}
+
+/// Eccentricity of `v`: max hop distance to any node.
+pub fn eccentricity(g: &WeightedGraph, v: NodeId) -> u32 {
+    distances(g, v)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path(n: u32) -> WeightedGraph {
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 7).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_ignore_weights() {
+        let g = path(5);
+        assert_eq!(distances(&g, NodeId(0)), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tree_structure() {
+        let g = path(4);
+        let t = tree(&g, NodeId(2));
+        assert_eq!(t.parent[2], None);
+        assert_eq!(t.parent[1], Some(NodeId(2)));
+        assert_eq!(t.parent[0], Some(NodeId(1)));
+        assert_eq!(t.parent[3], Some(NodeId(2)));
+        assert_eq!(t.height(), 2);
+        let ch = t.children();
+        assert_eq!(ch[2], vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path(6);
+        assert_eq!(eccentricity(&g, NodeId(0)), 5);
+        assert_eq!(eccentricity(&g, NodeId(3)), 3);
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact dyadic rational numbers `m / 2^e`.
+//!
+//! Moat-growing event times are *dyadic*: an active–active meeting solves
+//! `wd(v,w) = rad(v) + rad(w) + 2μ` for `μ`, i.e. halves an integer-valued
+//! gap, and radii are sums of such `μ` values. The paper relies on exact
+//! event ordering (ties broken lexicographically, Definition 4.12) — both
+//! the centralized reference (Algorithm 1) and the distributed emulation must
+//! produce *identical* merge sequences (Lemma 4.13) — so floating point is
+//! not acceptable. [`Dyadic`] provides exact arithmetic for this purpose.
+//!
+//! The mantissa is an `i128`; operations panic on overflow, which cannot
+//! occur for polynomially-bounded weights and realistic merge counts
+//! (the exponent grows by at most one per merge and mantissas stay below
+//! `weight_bits + exponent` bits).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use crate::Weight;
+
+/// An exact dyadic rational `mantissa / 2^exp`, always kept normalized
+/// (odd mantissa or zero, and `exp == 0` for zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dyadic {
+    mantissa: i128,
+    exp: u32,
+}
+
+impl Dyadic {
+    /// The value zero.
+    pub const ZERO: Dyadic = Dyadic { mantissa: 0, exp: 0 };
+
+    /// The value one.
+    pub const ONE: Dyadic = Dyadic { mantissa: 1, exp: 0 };
+
+    /// Creates `mantissa / 2^exp`, normalizing.
+    pub fn new(mantissa: i128, exp: u32) -> Self {
+        Dyadic { mantissa, exp }.normalized()
+    }
+
+    /// Converts an integer (e.g. an edge weight or distance).
+    pub fn from_int(v: i128) -> Self {
+        Dyadic { mantissa: v, exp: 0 }
+    }
+
+    /// Converts an edge weight.
+    pub fn from_weight(w: Weight) -> Self {
+        Dyadic::from_int(w as i128)
+    }
+
+    fn normalized(mut self) -> Self {
+        if self.mantissa == 0 {
+            self.exp = 0;
+            return self;
+        }
+        let tz = self.mantissa.trailing_zeros().min(self.exp);
+        self.mantissa >>= tz;
+        self.exp -= tz;
+        self
+    }
+
+    /// Exact half of the value.
+    pub fn half(self) -> Self {
+        if self.mantissa == 0 {
+            return self;
+        }
+        let exp = self.exp.checked_add(1).expect("dyadic exponent overflow");
+        Dyadic {
+            mantissa: self.mantissa,
+            exp,
+        }
+    }
+
+    /// Exact double of the value.
+    pub fn double(self) -> Self {
+        if self.exp > 0 {
+            Dyadic {
+                mantissa: self.mantissa,
+                exp: self.exp - 1,
+            }
+        } else {
+            Dyadic {
+                mantissa: self
+                    .mantissa
+                    .checked_mul(2)
+                    .expect("dyadic mantissa overflow"),
+                exp: 0,
+            }
+        }
+    }
+
+    /// Exact product with an integer (used for `actᵢ · μᵢ` dual terms).
+    pub fn mul_int(self, k: i128) -> Self {
+        Dyadic {
+            mantissa: self
+                .mantissa
+                .checked_mul(k)
+                .expect("dyadic mantissa overflow"),
+            exp: self.exp,
+        }
+        .normalized()
+    }
+
+    /// Exact product of two dyadics (used by the rounded-radii schedule).
+    pub fn mul(self, other: Self) -> Self {
+        Dyadic {
+            mantissa: self
+                .mantissa
+                .checked_mul(other.mantissa)
+                .expect("dyadic mantissa overflow"),
+            exp: self
+                .exp
+                .checked_add(other.exp)
+                .expect("dyadic exponent overflow"),
+        }
+        .normalized()
+    }
+
+    /// Largest value with exponent `≤ max_exp` that is `≤ self`
+    /// (rounds towards negative infinity).
+    ///
+    /// The rounded-radii schedule (Algorithm 2) multiplies the threshold
+    /// `μ̂` by `1 + ε/2` each growth phase; quantizing the result keeps
+    /// exponents bounded while preserving `μ̂_{g+1} ≤ (1 + ε/2)·μ̂_g`,
+    /// which is the direction Corollary D.1's charging argument needs.
+    pub fn round_down_to_exp(self, max_exp: u32) -> Self {
+        if self.exp <= max_exp {
+            return self;
+        }
+        let shift = self.exp - max_exp;
+        if shift >= 127 {
+            return if self.mantissa < 0 {
+                Dyadic::new(-1, max_exp)
+            } else {
+                Dyadic::ZERO
+            };
+        }
+        let q = self.mantissa >> shift; // arithmetic shift: floor division
+        Dyadic::new(q, max_exp)
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.mantissa < 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.mantissa > 0
+    }
+
+    /// Lossy conversion for reporting only (never used in comparisons).
+    pub fn to_f64(self) -> f64 {
+        self.mantissa as f64 / (2f64).powi(self.exp as i32)
+    }
+
+    /// Raw `(mantissa, exp)` pair, for size accounting in messages.
+    pub fn raw(self) -> (i128, u32) {
+        (self.mantissa, self.exp)
+    }
+
+    /// Number of bits in a natural encoding of this value (sign + mantissa
+    /// magnitude + exponent), used for CONGEST message-size accounting.
+    pub fn encoded_bits(self) -> usize {
+        let mag_bits = 128 - self.mantissa.unsigned_abs().leading_zeros() as usize;
+        1 + mag_bits.max(1) + 8
+    }
+
+    /// Minimum of two values.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two values.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Aligns two values to a common exponent, returning
+    /// `(ma, mb, common_exp)`.
+    fn aligned(self, other: Self) -> (i128, i128, u32) {
+        fn shift(m: i128, by: u32) -> i128 {
+            assert!(by < 127, "dyadic exponent overflow");
+            m.checked_mul(1i128 << by).expect("dyadic mantissa overflow")
+        }
+        let exp = self.exp.max(other.exp);
+        let ma = shift(self.mantissa, exp - self.exp);
+        let mb = shift(other.mantissa, exp - other.exp);
+        (ma, mb, exp)
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (a, b, _) = self.aligned(*other);
+        a.cmp(&b)
+    }
+}
+
+impl Add for Dyadic {
+    type Output = Dyadic;
+    fn add(self, rhs: Self) -> Self {
+        let (a, b, exp) = self.aligned(rhs);
+        Dyadic {
+            mantissa: a.checked_add(b).expect("dyadic mantissa overflow"),
+            exp,
+        }
+        .normalized()
+    }
+}
+
+impl AddAssign for Dyadic {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dyadic {
+    type Output = Dyadic;
+    fn sub(self, rhs: Self) -> Self {
+        let (a, b, exp) = self.aligned(rhs);
+        Dyadic {
+            mantissa: a.checked_sub(b).expect("dyadic mantissa overflow"),
+            exp,
+        }
+        .normalized()
+    }
+}
+
+impl SubAssign for Dyadic {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Dyadic {
+    type Output = Dyadic;
+    fn neg(self) -> Self {
+        Dyadic {
+            mantissa: -self.mantissa,
+            exp: self.exp,
+        }
+    }
+}
+
+impl From<Weight> for Dyadic {
+    fn from(w: Weight) -> Self {
+        Dyadic::from_weight(w)
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exp == 0 {
+            write!(f, "{}", self.mantissa)
+        } else {
+            write!(f, "{}/2^{}", self.mantissa, self.exp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_and_comparing() {
+        let one = Dyadic::ONE;
+        let half = one.half();
+        let quarter = half.half();
+        assert!(quarter < half && half < one);
+        assert_eq!(half + half, one);
+        assert_eq!(quarter + quarter + half, one);
+        assert_eq!(one.half().double(), one);
+    }
+
+    #[test]
+    fn normalization_keeps_exponent_small() {
+        // 4/2^2 == 1.
+        let v = Dyadic::new(4, 2);
+        assert_eq!(v, Dyadic::ONE);
+        assert_eq!(v.raw(), (1, 0));
+    }
+
+    #[test]
+    fn mixed_denominator_arithmetic() {
+        // 3/2 + 3/4 = 9/4.
+        let a = Dyadic::new(3, 1);
+        let b = Dyadic::new(3, 2);
+        assert_eq!(a + b, Dyadic::new(9, 2));
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn ordering_across_exponents() {
+        let a = Dyadic::new(5, 3); // 0.625
+        let b = Dyadic::new(3, 2); // 0.75
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn negatives() {
+        let a = Dyadic::from_int(2);
+        let b = Dyadic::from_int(5);
+        let d = a - b;
+        assert!(d.is_negative());
+        assert_eq!(-d, Dyadic::from_int(3));
+    }
+
+    #[test]
+    fn display_and_f64() {
+        assert_eq!(Dyadic::new(3, 1).to_f64(), 1.5);
+        assert_eq!(format!("{}", Dyadic::new(3, 1)), "3/2^1");
+        assert_eq!(format!("{}", Dyadic::from_int(7)), "7");
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(Dyadic::new(3, 1).mul_int(4), Dyadic::from_int(6));
+        assert_eq!(
+            Dyadic::new(3, 1).mul(Dyadic::new(5, 2)),
+            Dyadic::new(15, 3)
+        );
+        assert_eq!(Dyadic::ZERO.mul(Dyadic::new(7, 3)), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn round_down_to_exp() {
+        // 13/8 -> rounded to exp 1: 12/8 = 3/2.
+        assert_eq!(Dyadic::new(13, 3).round_down_to_exp(1), Dyadic::new(3, 1));
+        // Already coarse enough: unchanged.
+        assert_eq!(Dyadic::new(3, 1).round_down_to_exp(4), Dyadic::new(3, 1));
+        // Negative values round towards -inf.
+        assert_eq!(Dyadic::new(-13, 3).round_down_to_exp(1), Dyadic::new(-7, 2).round_down_to_exp(1));
+        assert!(Dyadic::new(-13, 3).round_down_to_exp(1) <= Dyadic::new(-13, 3));
+    }
+
+    #[test]
+    fn repeated_halving_stays_exact() {
+        let mut v = Dyadic::from_int(1_000_003);
+        let mut parts = Dyadic::ZERO;
+        for _ in 0..60 {
+            v = v.half();
+            parts += v;
+        }
+        // parts = 1_000_003 * (1 - 2^-60)
+        assert!(parts < Dyadic::from_int(1_000_003));
+        assert_eq!(parts + v, Dyadic::from_int(1_000_003));
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic (seeded) instance generators used by tests, examples and the
+//! experiment harness.
+//!
+//! Each generator guarantees connectivity (the CONGEST network is a single
+//! connected graph) and positive integer weights.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GraphBuilder, NodeId, Weight, WeightedGraph};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn random_weight(rng: &mut StdRng, max_w: Weight) -> Weight {
+    rng.gen_range(1..=max_w.max(1))
+}
+
+/// Erdős–Rényi `G(n, p)` made connected by first inserting a random
+/// recursive tree (each node `i ≥ 1` attaches to a uniform `j < i`).
+///
+/// Weights are uniform in `1..=max_w`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gnp_connected(n: usize, p: f64, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = r.gen_range(0..i);
+        let w = random_weight(&mut r, max_w);
+        b.add_edge(NodeId::from(i), NodeId::from(j), w).unwrap();
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !b.has_edge(NodeId::from(i), NodeId::from(j)) && r.gen_bool(p) {
+                let w = random_weight(&mut r, max_w);
+                b.add_edge(NodeId::from(i), NodeId::from(j), w).unwrap();
+            }
+        }
+    }
+    b.build().expect("construction guarantees connectivity")
+}
+
+/// Random geometric graph: `n` points in the unit square, edges between
+/// points at Euclidean distance `≤ radius`, weight = rounded scaled distance
+/// (min 1). Components are stitched together by their closest point pairs,
+/// modelling e.g. a wide-area network overlay.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    let mut r = rng(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+    let dist = |i: usize, j: usize| -> f64 {
+        let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let scaled = |d: f64| -> Weight { ((d * 1000.0).round() as Weight).max(1) };
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(i, j);
+            if d <= radius {
+                b.add_edge(NodeId::from(i), NodeId::from(j), scaled(d))
+                    .unwrap();
+            }
+        }
+    }
+    // Stitch components with their cheapest crossing pair until connected.
+    loop {
+        let g = b.clone().build_unchecked();
+        let comps = g.components_of(&(0..g.m() as u32).map(crate::EdgeId).collect::<Vec<_>>());
+        let root = comps[0];
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if comps[i] != root {
+                continue;
+            }
+            for j in 0..n {
+                if comps[j] == root {
+                    continue;
+                }
+                let d = dist(i, j);
+                if best.map_or(true, |(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some((i, j, d)) => {
+                b.add_edge(NodeId::from(i), NodeId::from(j), scaled(d))
+                    .unwrap();
+            }
+        }
+    }
+    b.build().expect("stitching guarantees connectivity")
+}
+
+/// A `rows × cols` grid with random weights in `1..=max_w`.
+///
+/// Grids have tunable `D = rows + cols - 2` and let experiments sweep `k`
+/// while holding `s` roughly fixed.
+pub fn grid(rows: usize, cols: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(rows * cols > 0, "grid must be nonempty");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |rr: usize, cc: usize| NodeId::from(rr * cols + cc);
+    for rr in 0..rows {
+        for cc in 0..cols {
+            if cc + 1 < cols {
+                b.add_edge(id(rr, cc), id(rr, cc + 1), random_weight(&mut r, max_w))
+                    .unwrap();
+            }
+            if rr + 1 < rows {
+                b.add_edge(id(rr, cc), id(rr + 1, cc), random_weight(&mut r, max_w))
+                    .unwrap();
+            }
+        }
+    }
+    b.build().expect("grid is connected")
+}
+
+/// A path `0 - 1 - ... - n-1` with constant weight `w`; `s = D = n - 1`.
+pub fn path(n: usize, w: Weight) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(NodeId::from(i), NodeId::from(i + 1), w).unwrap();
+    }
+    b.build().expect("path is connected")
+}
+
+/// A cycle with random weights; useful because `s` can exceed `D` when one
+/// edge is heavy (see `lopsided_*` tests).
+pub fn ring(n: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(
+            NodeId::from(i),
+            NodeId::from((i + 1) % n),
+            random_weight(&mut r, max_w),
+        )
+        .unwrap();
+    }
+    b.build().expect("ring is connected")
+}
+
+/// A star with center 0; `D = 2`, `s = 2`.
+pub fn star(n: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId::from(i), random_weight(&mut r, max_w))
+            .unwrap();
+    }
+    b.build().expect("star is connected")
+}
+
+/// A caterpillar: a unit-weight spine of `spine` nodes, each carrying `legs`
+/// leaf nodes. Sweeping `spine` sweeps `s ≈ D ≈ spine` while keeping degree
+/// and `t` options flexible (used by experiment E3's `s`-sweep).
+pub fn caterpillar(spine: usize, legs: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(spine > 0, "need a spine");
+    let mut r = rng(seed);
+    let n = spine * (legs + 1);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..spine.saturating_sub(1) {
+        b.add_edge(NodeId::from(i), NodeId::from(i + 1), 1).unwrap();
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + i * legs + l;
+            b.add_edge(NodeId::from(i), NodeId::from(leaf), random_weight(&mut r, max_w))
+                .unwrap();
+        }
+    }
+    b.build().expect("caterpillar is connected")
+}
+
+/// The complete graph on `n` nodes with random weights.
+pub fn complete(n: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId::from(i), NodeId::from(j), random_weight(&mut r, max_w))
+                .unwrap();
+        }
+    }
+    b.build().expect("complete graph is connected")
+}
+
+/// Samples `count` distinct nodes, deterministically per seed.
+pub fn sample_nodes(n: usize, count: usize, seed: u64) -> Vec<NodeId> {
+    assert!(count <= n, "cannot sample {count} of {n} nodes");
+    let mut r = rng(seed);
+    let mut ids: Vec<usize> = (0..n).collect();
+    // Partial Fisher-Yates.
+    for i in 0..count {
+        let j = r.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    let mut out: Vec<NodeId> = ids[..count].iter().map(|&i| NodeId::from(i)).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let a = gnp_connected(30, 0.1, 100, 7);
+        let b2 = gnp_connected(30, 0.1, 100, 7);
+        assert!(a.is_connected());
+        assert_eq!(a.m(), b2.m());
+        assert_eq!(a.edges(), b2.edges());
+        let c = gnp_connected(30, 0.1, 100, 8);
+        assert!(a.m() != c.m() || a.edges() != c.edges());
+    }
+
+    #[test]
+    fn geometric_is_connected() {
+        let g = random_geometric(40, 0.18, 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let g = grid(3, 4, 5, 0);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+        assert_eq!(metrics::unweighted_diameter(&g), 5);
+    }
+
+    #[test]
+    fn path_parameters() {
+        let g = path(6, 3);
+        let p = metrics::parameters(&g);
+        assert_eq!(p.diameter, 5);
+        assert_eq!(p.shortest_path_diameter, 5);
+        assert_eq!(p.weighted_diameter, 15);
+    }
+
+    #[test]
+    fn star_and_ring_shapes() {
+        let s = star(8, 4, 1);
+        assert_eq!(metrics::unweighted_diameter(&s), 2);
+        let r = ring(8, 4, 1);
+        assert_eq!(r.m(), 8);
+        assert!(r.is_connected());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 2, 3, 9);
+        assert_eq!(g.n(), 15);
+        assert!(g.is_connected());
+        assert!(metrics::unweighted_diameter(&g) >= 5);
+    }
+
+    #[test]
+    fn sample_nodes_distinct_sorted() {
+        let s = sample_nodes(20, 7, 11);
+        assert_eq!(s.len(), 7);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(s, sample_nodes(20, 7, 11));
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(7, 9, 2);
+        assert_eq!(g.m(), 21);
+    }
+}

@@ -1,0 +1,442 @@
+//! The core immutable weighted-graph type and its builder.
+
+use std::fmt;
+
+use crate::Weight;
+
+/// Identifier of a node; nodes are numbered `0..n`.
+///
+/// In the CONGEST model each node initially knows its own identifier, the
+/// identifiers of its neighbors and the weights of its incident edges
+/// (paper, Section 2); this type is that identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+/// Identifier of an (undirected) edge; edges are numbered `0..m` in insertion
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Index into per-edge arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected weighted edge `{u, v}` with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// Positive integer weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// The endpoint that is not `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "node {x} is not an endpoint");
+            self.u
+        }
+    }
+}
+
+/// Errors raised while constructing a [`WeightedGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was `>= n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// Both endpoints were equal.
+    SelfLoop(NodeId),
+    /// The same unordered pair was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// Edge weight was zero (the model requires weights in `N`).
+    ZeroWeight(NodeId, NodeId),
+    /// The finished graph is not connected (required by the model: the
+    /// network is a single connected component).
+    Disconnected,
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::ZeroWeight(u, v) => write!(f, "zero weight on edge {{{u}, {v}}}"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incrementally assembles a [`WeightedGraph`], validating as it goes.
+///
+/// # Example
+///
+/// ```
+/// use dsf_graph::{GraphBuilder, NodeId};
+/// # fn main() -> Result<(), dsf_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1), 1)?;
+/// b.add_edge(NodeId(1), NodeId(2), 4)?;
+/// let g = b.build()?;
+/// assert_eq!(g.m(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    seen: std::collections::HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on self loops, duplicate edges, zero weights or
+    /// out-of-range endpoints. The builder is left unchanged on error.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<EdgeId, GraphError> {
+        if u.idx() >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v.idx() >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if w == 0 {
+            return Err(GraphError::ZeroWeight(u, v));
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        if !self.seen.insert((a.0, b.0)) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { u: a, v: b, w });
+        Ok(id)
+    }
+
+    /// Returns `true` if the unordered pair `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&(a.0, b.0))
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes the graph, checking connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Disconnected`] if the graph is not connected and
+    /// [`GraphError::Empty`] if `n == 0`.
+    pub fn build(self) -> Result<WeightedGraph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let g = self.build_unchecked();
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// Finishes the graph without the connectivity check.
+    ///
+    /// Useful for intermediate graphs (e.g. the forest `(V, F)` of selected
+    /// edges, which is intentionally disconnected).
+    pub fn build_unchecked(self) -> WeightedGraph {
+        let mut adj = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adj[e.u.idx()].push((e.v, id));
+            adj[e.v.idx()].push((e.u, id));
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        WeightedGraph {
+            n: self.n,
+            edges: self.edges,
+            adj,
+        }
+    }
+}
+
+/// An immutable, undirected, positively-weighted graph.
+///
+/// The graph is the communication network *and* the problem instance domain:
+/// in the CONGEST model the input graph and the network coincide.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// `adj[v]` lists `(neighbor, edge id)` sorted by neighbor id.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl WeightedGraph {
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, indexed by [`EdgeId`].
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.idx()]
+    }
+
+    /// Weight of the edge with the given id.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        self.edges[e.idx()].w
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs, sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.idx()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.idx()].len()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32).map(NodeId)
+    }
+
+    /// Looks up the edge id of `{u, v}`, if present.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let a = &self.adj[u.idx()];
+        a.binary_search_by_key(&v, |&(nb, _)| nb)
+            .ok()
+            .map(|i| a[i].1)
+    }
+
+    /// Total weight of an edge subset.
+    pub fn total_weight<'a>(&self, edges: impl IntoIterator<Item = &'a EdgeId>) -> Weight {
+        edges.into_iter().map(|&e| self.weight(e)).sum()
+    }
+
+    /// Whether the graph is connected (vacuously true for `n == 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut cnt = 1;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in self.neighbors(v) {
+                if !seen[u.idx()] {
+                    seen[u.idx()] = true;
+                    cnt += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        cnt == self.n
+    }
+
+    /// Connected components of the subgraph `(V, F)` induced by an edge set.
+    ///
+    /// Returns a component label per node; labels are the smallest node id in
+    /// the component.
+    pub fn components_of(&self, edge_set: &[EdgeId]) -> Vec<NodeId> {
+        let mut uf = crate::union_find::UnionFind::new(self.n);
+        for &e in edge_set {
+            let ed = self.edge(e);
+            uf.union(ed.u.idx(), ed.v.idx());
+        }
+        // Canonicalize to the smallest node id in each class.
+        let mut min_rep: Vec<usize> = (0..self.n).collect();
+        for v in 0..self.n {
+            let r = uf.find(v);
+            if v < min_rep[r] {
+                min_rep[r] = v;
+            }
+        }
+        (0..self.n)
+            .map(|v| NodeId::from(min_rep[uf.find(v)]))
+            .collect()
+    }
+
+    /// Number of bits needed to encode a node identifier (`ceil(log2 n)`,
+    /// at least 1).
+    pub fn id_bits(&self) -> usize {
+        (usize::BITS - (self.n.max(2) - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.weight(EdgeId(1)), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.find_edge(NodeId(0), NodeId(2)), Some(EdgeId(2)));
+        assert_eq!(g.find_edge(NodeId(2), NodeId(0)), Some(EdgeId(2)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(NodeId(0), NodeId(0), 1),
+            Err(GraphError::SelfLoop(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_regardless_of_orientation() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        assert_eq!(
+            b.add_edge(NodeId(1), NodeId(0), 2),
+            Err(GraphError::DuplicateEdge(NodeId(0), NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_weight() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(NodeId(0), NodeId(1), 0),
+            Err(GraphError::ZeroWeight(NodeId(0), NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        assert_eq!(b.build().err(), Some(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(5), 1),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn components_of_edge_subsets() {
+        let g = triangle();
+        let comps = g.components_of(&[EdgeId(0)]);
+        assert_eq!(comps[0], comps[1]);
+        assert_ne!(comps[0], comps[2]);
+        let all = g.components_of(&[EdgeId(0), EdgeId(1)]);
+        assert!(all.iter().all(|&c| c == NodeId(0)));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert_eq!(e.other(NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    fn id_bits_reasonable() {
+        let g = triangle();
+        assert_eq!(g.id_bits(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! The graph parameters that govern every round bound in the paper:
+//! unweighted diameter `D`, weighted diameter `WD`, and the
+//! shortest-path diameter `s`.
+//!
+//! Quoting Section 2:
+//! * `D := max_{v,w} min_{p ∈ P(v,w)} ℓ(p)` (hops, ignoring weights);
+//! * `wd(v,w) := min_{p} W(p)` and `WD := max_{v,w} wd(v,w)`;
+//! * `s := max_{v,w} min { ℓ(p) | p ∈ P(v,w) ∧ W(p) = wd(v,w) }` — the
+//!   maximum, over node pairs, of the minimum *hop count among weighted
+//!   shortest paths*. Intuitively `s` is the stabilization time of
+//!   distributed Bellman–Ford.
+
+use crate::{bfs, dijkstra, Weight, WeightedGraph};
+
+/// All CONGEST-relevant parameters of a graph, bundled for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphParameters {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Unweighted (hop) diameter `D`.
+    pub diameter: u32,
+    /// Weighted diameter `WD`.
+    pub weighted_diameter: Weight,
+    /// Shortest-path diameter `s`.
+    pub shortest_path_diameter: u32,
+}
+
+/// Unweighted diameter `D` (max BFS eccentricity). `O(n·m)`.
+pub fn unweighted_diameter(g: &WeightedGraph) -> u32 {
+    g.nodes().map(|v| bfs::eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Weighted diameter `WD`. `O(n·m·log n)`.
+pub fn weighted_diameter(g: &WeightedGraph) -> Weight {
+    g.nodes()
+        .map(|v| {
+            dijkstra::shortest_paths(g, v)
+                .dist
+                .into_iter()
+                .filter(|&d| d < crate::INF)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Shortest-path diameter `s`: the Dijkstra in [`dijkstra::shortest_paths`]
+/// minimizes hops among equal-weight paths, so the per-pair minimum hop count
+/// over shortest paths is exactly `hops[v]`.
+pub fn shortest_path_diameter(g: &WeightedGraph) -> u32 {
+    g.nodes()
+        .map(|v| {
+            dijkstra::shortest_paths(g, v)
+                .hops
+                .into_iter()
+                .filter(|&h| h != u32::MAX)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Computes all parameters in one sweep.
+pub fn parameters(g: &WeightedGraph) -> GraphParameters {
+    let mut diameter = 0u32;
+    let mut wd = 0u64;
+    let mut spd = 0u32;
+    for v in g.nodes() {
+        diameter = diameter.max(bfs::eccentricity(g, v));
+        let sp = dijkstra::shortest_paths(g, v);
+        for u in g.nodes() {
+            if sp.dist[u.idx()] < crate::INF {
+                wd = wd.max(sp.dist[u.idx()]);
+                spd = spd.max(sp.hops[u.idx()]);
+            }
+        }
+    }
+    GraphParameters {
+        n: g.n(),
+        m: g.m(),
+        diameter,
+        weighted_diameter: wd,
+        shortest_path_diameter: spd,
+    }
+}
+
+/// `s` is sandwiched between `D` and `n - 1`; convenient check used in tests
+/// and by generator post-conditions.
+pub fn parameters_consistent(p: &GraphParameters) -> bool {
+    u32::try_from(p.n.saturating_sub(1)).map_or(false, |nm1| {
+        p.diameter <= p.shortest_path_diameter && p.shortest_path_diameter <= nm1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeId};
+
+    /// A 4-cycle where one edge is heavy: 0-1-2-3-0 with w(3,0) = 10.
+    ///
+    /// The weighted shortest path from 0 to 3 goes the long way (3 hops,
+    /// weight 3) even though the direct edge exists, so `s = 3 > D = 2`.
+    fn lopsided_cycle() -> WeightedGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 10).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shortest_path_diameter_exceeds_hop_diameter() {
+        let g = lopsided_cycle();
+        let p = parameters(&g);
+        assert_eq!(p.diameter, 2);
+        assert_eq!(p.shortest_path_diameter, 3);
+        assert_eq!(p.weighted_diameter, 3);
+        assert!(parameters_consistent(&p));
+    }
+
+    #[test]
+    fn individual_functions_match_bundle() {
+        let g = lopsided_cycle();
+        let p = parameters(&g);
+        assert_eq!(unweighted_diameter(&g), p.diameter);
+        assert_eq!(weighted_diameter(&g), p.weighted_diameter);
+        assert_eq!(shortest_path_diameter(&g), p.shortest_path_diameter);
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 5).unwrap();
+        let g = b.build().unwrap();
+        let p = parameters(&g);
+        assert_eq!(
+            p,
+            GraphParameters {
+                n: 2,
+                m: 1,
+                diameter: 1,
+                weighted_diameter: 5,
+                shortest_path_diameter: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Kruskal's minimum spanning tree / forest.
+//!
+//! Ground truth for experiment E7: on the MST specialization of Steiner
+//! Forest (`k = 1`, `t = n`) the paper's deterministic algorithm must return
+//! an exact MST (Section 1, "Main Techniques").
+
+use crate::union_find::UnionFind;
+use crate::{EdgeId, Weight, WeightedGraph};
+
+/// Result of an MST computation.
+#[derive(Debug, Clone)]
+pub struct Mst {
+    /// Selected edge ids, in selection order.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the selected edges.
+    pub weight: Weight,
+}
+
+/// Kruskal with deterministic `(weight, edge id)` tie-breaking.
+///
+/// On a connected graph returns a spanning tree; on a disconnected graph a
+/// spanning forest.
+pub fn kruskal(g: &WeightedGraph) -> Mst {
+    let mut order: Vec<EdgeId> = (0..g.m() as u32).map(EdgeId).collect();
+    order.sort_by_key(|&e| (g.weight(e), e));
+    let mut uf = UnionFind::new(g.n());
+    let mut edges = Vec::with_capacity(g.n().saturating_sub(1));
+    let mut weight = 0;
+    for e in order {
+        let ed = g.edge(e);
+        if uf.union(ed.u.idx(), ed.v.idx()) {
+            edges.push(e);
+            weight += ed.w;
+            if edges.len() + 1 == g.n() {
+                break;
+            }
+        }
+    }
+    Mst { edges, weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeId};
+
+    #[test]
+    fn mst_of_square_with_diagonal() {
+        // Square 0-1-2-3-0 with unit edges and a heavy diagonal.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 3).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 4).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 10).unwrap();
+        let g = b.build().unwrap();
+        let mst = kruskal(&g);
+        assert_eq!(mst.weight, 6);
+        assert_eq!(mst.edges.len(), 3);
+    }
+
+    #[test]
+    fn mst_tie_breaking_is_by_edge_id() {
+        // Triangle with all weights equal: edges 0 and 1 win.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 5).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 5).unwrap();
+        let g = b.build().unwrap();
+        let mst = kruskal(&g);
+        assert_eq!(mst.edges, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn mst_weight_is_invariant_under_edge_relabeling() {
+        // Same square built in a different edge order must give same weight.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(3), NodeId(0), 4).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 3).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 10).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(kruskal(&g).weight, 6);
+    }
+}

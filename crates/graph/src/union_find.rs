@@ -1,0 +1,138 @@
+//! Union–find (disjoint set union) with path halving and union by size.
+//!
+//! Used by Kruskal's algorithm, cycle filtering of candidate merges
+//! (Lemma 4.13: "discard each merge that closes a cycle in `G_c`"), and
+//! component bookkeeping throughout.
+
+/// A classic disjoint-set-union structure over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use dsf_graph::union_find::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0), "already joined");
+/// assert!(uf.same(0, 1));
+/// assert_eq!(uf.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Representative without mutation (no compression), for shared access.
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements in `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.num_sets(), 6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert!(uf.same(1, 2));
+        assert!(!uf.same(1, 4));
+        assert_eq!(uf.num_sets(), 3);
+        assert_eq!(uf.set_size(2), 4);
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        for i in 0..8 {
+            assert_eq!(uf.find_const(i), uf.clone().find(i));
+        }
+    }
+
+    #[test]
+    fn union_all_gives_one_set() {
+        let mut uf = UnionFind::new(10);
+        for i in 1..10 {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert_eq!(uf.set_size(7), 10);
+    }
+}

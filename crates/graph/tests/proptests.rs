@@ -1,0 +1,111 @@
+//! Property-based tests for the graph substrate: shortest paths against a
+//! Floyd–Warshall oracle, metric axioms, parameter orderings, and MST/
+//! Steiner-tree relations.
+
+use proptest::prelude::*;
+
+use dsf_graph::{dijkstra, dreyfus_wagner, generators, metrics, mst, NodeId, Weight, INF};
+
+fn floyd_warshall(g: &dsf_graph::WeightedGraph) -> Vec<Vec<Weight>> {
+    let n = g.n();
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for e in g.edges() {
+        let (u, v) = (e.u.idx(), e.v.idx());
+        d[u][v] = d[u][v].min(e.w);
+        d[v][u] = d[v][u].min(e.w);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(seed in 0u64..500, n in 4usize..20, p in 0.15f64..0.6) {
+        let g = generators::gnp_connected(n, p, 15, seed);
+        let fw = floyd_warshall(&g);
+        for v in g.nodes() {
+            let sp = dijkstra::shortest_paths(&g, v);
+            prop_assert_eq!(&sp.dist, &fw[v.idx()]);
+        }
+    }
+
+    #[test]
+    fn path_edges_reconstruct_distance(seed in 0u64..500, n in 4usize..20) {
+        let g = generators::gnp_connected(n, 0.3, 12, seed);
+        let sp = dijkstra::shortest_paths(&g, NodeId(0));
+        for v in g.nodes() {
+            let edges = sp.path_edges(v);
+            let w: Weight = edges.iter().map(|&e| g.weight(e)).sum();
+            prop_assert_eq!(w, sp.dist[v.idx()]);
+            prop_assert_eq!(edges.len() as u32, sp.hops[v.idx()]);
+        }
+    }
+
+    #[test]
+    fn metric_axioms(seed in 0u64..300, n in 4usize..14) {
+        let g = generators::gnp_connected(n, 0.4, 9, seed);
+        let ap = dijkstra::all_pairs(&g);
+        for i in 0..n {
+            prop_assert_eq!(ap[i][i], 0);
+            for j in 0..n {
+                prop_assert_eq!(ap[i][j], ap[j][i]);
+                for k in 0..n {
+                    prop_assert!(ap[i][j] <= ap[i][k] + ap[k][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_ordering(seed in 0u64..300, n in 4usize..16) {
+        let g = generators::gnp_connected(n, 0.3, 20, seed);
+        let p = metrics::parameters(&g);
+        // D ≤ s ≤ n-1 and D ≤ WD (weights ≥ 1).
+        prop_assert!(p.diameter <= p.shortest_path_diameter);
+        prop_assert!(p.shortest_path_diameter as usize <= n - 1);
+        prop_assert!(u64::from(p.diameter) <= p.weighted_diameter);
+        prop_assert!(metrics::parameters_consistent(&p));
+    }
+
+    #[test]
+    fn mst_lower_bounds_steiner_tree_supersets(seed in 0u64..200, n in 5usize..14) {
+        let g = generators::gnp_connected(n, 0.4, 10, seed);
+        let m = mst::kruskal(&g);
+        // Steiner tree over a subset of nodes is at most the MST weight.
+        let terms: Vec<NodeId> = generators::sample_nodes(n, 3.min(n), seed);
+        let st = dreyfus_wagner::steiner_tree(&g, &terms);
+        prop_assert!(st.weight <= m.weight);
+        // And monotone in the terminal set.
+        let fewer = dreyfus_wagner::steiner_tree(&g, &terms[..2]);
+        prop_assert!(fewer.weight <= st.weight);
+    }
+
+    #[test]
+    fn steiner_tree_matches_pair_distance(seed in 0u64..200, n in 4usize..16) {
+        let g = generators::gnp_connected(n, 0.3, 12, seed);
+        let sp = dijkstra::shortest_paths(&g, NodeId(0));
+        let target = NodeId((n - 1) as u32);
+        let st = dreyfus_wagner::steiner_tree(&g, &[NodeId(0), target]);
+        prop_assert_eq!(st.weight, sp.dist[target.idx()]);
+    }
+
+    #[test]
+    fn generators_respect_weight_bounds(seed in 0u64..200, n in 2usize..30, w in 1u64..50) {
+        let g = generators::gnp_connected(n, 0.2, w, seed);
+        prop_assert!(g.edges().iter().all(|e| (1..=w).contains(&e.w)));
+        prop_assert!(g.is_connected());
+    }
+}

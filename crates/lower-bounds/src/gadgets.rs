@@ -1,0 +1,250 @@
+//! The Figure 1 gadget constructions.
+
+use dsf_graph::{EdgeId, GraphBuilder, NodeId, Weight, WeightedGraph};
+use dsf_steiner::{ConnectionRequests, ForestSolution, Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-party Set Disjointness instance over universe `[universe]`.
+#[derive(Debug, Clone)]
+pub struct SetDisjointness {
+    /// Alice's set (membership vector).
+    pub a: Vec<bool>,
+    /// Bob's set.
+    pub b: Vec<bool>,
+}
+
+impl SetDisjointness {
+    /// Samples a *hard-regime* instance: `|A|, |B| ≈ universe/2` with
+    /// `|A ∩ B| ≤ 1` (the paper notes the hard instances have this shape).
+    /// With `intersect = true` exactly one common element is planted.
+    pub fn sample_hard(universe: usize, intersect: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = vec![false; universe];
+        let mut b = vec![false; universe];
+        for i in 0..universe {
+            // Each element goes to A xor B (never both).
+            if rng.gen_bool(0.5) {
+                a[i] = true;
+            } else {
+                b[i] = true;
+            }
+        }
+        if intersect {
+            let i = rng.gen_range(0..universe);
+            a[i] = true;
+            b[i] = true;
+        }
+        SetDisjointness { a, b }
+    }
+
+    /// Whether `A ∩ B = ∅`.
+    pub fn disjoint(&self) -> bool {
+        self.a.iter().zip(&self.b).all(|(&x, &y)| !(x && y))
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.a.len()
+    }
+}
+
+/// The DSF-CR gadget (Figure 1, left).
+///
+/// Node layout: `a_{-1} = 0`, `a_0 = 1`, `a_i = 1 + i`;
+/// `b_{-1} = n+2`, `b_0 = n+3`, `b_i = n+3+i`.
+#[derive(Debug)]
+pub struct CrGadget {
+    /// The gadget graph.
+    pub graph: WeightedGraph,
+    /// The connection requests (Definition 2.1 input).
+    pub requests: ConnectionRequests,
+    /// The 4-edge Alice/Bob cut (`E_AB`).
+    pub cut: Vec<EdgeId>,
+    /// The two heavy edges `(a_0,b_0)` and `(a_{-1},b_{-1})`.
+    pub heavy: Vec<EdgeId>,
+    /// Weight of a heavy edge: `ρ(2n+2)+1`.
+    pub heavy_weight: Weight,
+}
+
+impl CrGadget {
+    /// Decodes the reduction: "YES (disjoint)" iff the output avoids both
+    /// heavy edges.
+    pub fn decode(&self, f: &ForestSolution) -> bool {
+        !self.heavy.iter().any(|&e| f.contains(e))
+    }
+}
+
+/// Builds the DSF-CR gadget for `sd` with approximation budget `rho`
+/// (heavy edges weigh `ρ(2n+2)+1`, so a `ρ`-approximation of a YES
+/// instance cannot afford one).
+pub fn cr_gadget(sd: &SetDisjointness, rho: u64) -> CrGadget {
+    let n = sd.universe();
+    let heavy_weight = rho * (2 * n as u64 + 2) + 1;
+    let total = 2 * n + 4;
+    let a_m1 = NodeId(0);
+    let a_0 = NodeId(1);
+    let a = |i: usize| NodeId((2 + i) as u32); // a_{i+1} for 0-based i
+    let b_m1 = NodeId((n + 2) as u32);
+    let b_0 = NodeId((n + 3) as u32);
+    let b = |i: usize| NodeId((n + 4 + i) as u32); // b_{i+1} for 0-based i
+
+    let mut gb = GraphBuilder::new(total);
+    for i in 0..n {
+        let target = if sd.a[i] { a_0 } else { a_m1 };
+        gb.add_edge(a(i), target, 1).unwrap();
+    }
+    for i in 0..n {
+        let target = if sd.b[i] { b_0 } else { b_m1 };
+        gb.add_edge(b(i), target, 1).unwrap();
+    }
+    let heavy1 = gb.add_edge(a_0, b_0, heavy_weight).unwrap();
+    let heavy2 = gb.add_edge(a_m1, b_m1, heavy_weight).unwrap();
+    let light1 = gb.add_edge(a_0, b_m1, 1).unwrap();
+    let light2 = gb.add_edge(a_m1, b_0, 1).unwrap();
+    let graph = gb.build().expect("gadget is connected");
+
+    let mut requests = ConnectionRequests::new(total);
+    for i in 0..n {
+        if sd.a[i] {
+            requests.request(a(i), b(i));
+        }
+        if sd.b[i] {
+            requests.request(b(i), a(i));
+        }
+    }
+    CrGadget {
+        graph,
+        requests,
+        cut: vec![heavy1, heavy2, light1, light2],
+        heavy: vec![heavy1, heavy2],
+        heavy_weight,
+    }
+}
+
+/// The DSF-IC gadget (Figure 1, right): two unit-weight stars joined by
+/// `(a_0, b_0)`; element `i ∈ A ∩ B` forces that edge into any solution.
+#[derive(Debug)]
+pub struct IcGadget {
+    /// The gadget graph.
+    pub graph: WeightedGraph,
+    /// The DSF-IC instance.
+    pub instance: Instance,
+    /// The single cut edge `(a_0, b_0)`.
+    pub cut: Vec<EdgeId>,
+    /// Same edge, for decoding.
+    pub bridge: EdgeId,
+}
+
+impl IcGadget {
+    /// Decodes the reduction: "YES (disjoint)" iff the bridge is unused.
+    pub fn decode(&self, f: &ForestSolution) -> bool {
+        !f.contains(self.bridge)
+    }
+}
+
+/// Builds the DSF-IC gadget.
+pub fn ic_gadget(sd: &SetDisjointness) -> IcGadget {
+    let n = sd.universe();
+    let a_0 = NodeId(0);
+    let a = |i: usize| NodeId(1 + i as u32);
+    let b_0 = NodeId((n + 1) as u32);
+    let b = |i: usize| NodeId((n + 2 + i) as u32);
+    let mut gb = GraphBuilder::new(2 * n + 2);
+    for i in 0..n {
+        gb.add_edge(a_0, a(i), 1).unwrap();
+        gb.add_edge(b_0, b(i), 1).unwrap();
+    }
+    let bridge = gb.add_edge(a_0, b_0, 1).unwrap();
+    let graph = gb.build().expect("gadget is connected");
+
+    let mut ib = InstanceBuilder::new(&graph);
+    for i in 0..n {
+        match (sd.a[i], sd.b[i]) {
+            (true, true) => ib = ib.component(&[a(i), b(i)]),
+            (true, false) => ib = ib.component(&[a(i)]),
+            (false, true) => ib = ib.component(&[b(i)]),
+            (false, false) => {}
+        }
+    }
+    let instance = ib.build().expect("labels are per-element");
+    IcGadget {
+        graph,
+        instance,
+        cut: vec![bridge],
+        bridge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_controls_intersection() {
+        for seed in 0..10 {
+            let yes = SetDisjointness::sample_hard(40, false, seed);
+            assert!(yes.disjoint());
+            let no = SetDisjointness::sample_hard(40, true, seed);
+            assert!(!no.disjoint());
+            let common = no
+                .a
+                .iter()
+                .zip(&no.b)
+                .filter(|(&x, &y)| x && y)
+                .count();
+            assert_eq!(common, 1);
+        }
+    }
+
+    #[test]
+    fn cr_gadget_shape() {
+        let sd = SetDisjointness::sample_hard(12, false, 1);
+        let gadget = cr_gadget(&sd, 2);
+        assert_eq!(gadget.graph.n(), 2 * 12 + 4);
+        assert_eq!(gadget.cut.len(), 4);
+        assert_eq!(gadget.heavy_weight, 2 * 26 + 1);
+        // Diameter at most 4 (paper's Lemma 3.1 statement).
+        assert!(dsf_graph::metrics::unweighted_diameter(&gadget.graph) <= 4);
+    }
+
+    #[test]
+    fn cr_yes_instance_solvable_without_heavy_edges() {
+        let sd = SetDisjointness::sample_hard(10, false, 2);
+        let gadget = cr_gadget(&sd, 2);
+        let inst = gadget.requests.to_components(&gadget.graph);
+        let run = dsf_steiner::moat::grow(&gadget.graph, &inst);
+        assert!(inst.is_feasible(&gadget.graph, &run.forest));
+        assert!(gadget.decode(&run.forest), "YES instance used a heavy edge");
+    }
+
+    #[test]
+    fn cr_no_instance_forces_heavy_edge() {
+        let sd = SetDisjointness::sample_hard(10, true, 3);
+        let gadget = cr_gadget(&sd, 2);
+        let inst = gadget.requests.to_components(&gadget.graph);
+        let run = dsf_steiner::moat::grow(&gadget.graph, &inst);
+        assert!(inst.is_feasible(&gadget.graph, &run.forest));
+        assert!(!gadget.decode(&run.forest), "NO instance avoided heavy edges");
+    }
+
+    #[test]
+    fn ic_gadget_decoding() {
+        let yes = ic_gadget(&SetDisjointness::sample_hard(15, false, 4));
+        let run = dsf_steiner::moat::grow(&yes.graph, &yes.instance);
+        assert!(yes.decode(&run.forest));
+        // Optimal weight of a YES instance is 0.
+        assert!(run.forest.is_empty());
+
+        let no = ic_gadget(&SetDisjointness::sample_hard(15, true, 4));
+        let run = dsf_steiner::moat::grow(&no.graph, &no.instance);
+        assert!(no.instance.is_feasible(&no.graph, &run.forest));
+        assert!(!no.decode(&run.forest));
+    }
+
+    #[test]
+    fn ic_gadget_diameter_is_three() {
+        let g = ic_gadget(&SetDisjointness::sample_hard(8, false, 5));
+        assert_eq!(dsf_graph::metrics::unweighted_diameter(&g.graph), 3);
+    }
+}

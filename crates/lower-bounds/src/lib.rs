@@ -1,0 +1,19 @@
+//! The Section 3 lower-bound machinery: Set Disjointness reductions
+//! (Figure 1) and cut-communication experiments.
+//!
+//! The paper proves `Ω(t/log n)` (Lemma 3.1, DSF-CR) and `Ω(k/log n)`
+//! (Lemma 3.3, DSF-IC) by simulating any Steiner forest algorithm on a
+//! two-party gadget graph: Alice holds the `a`-side, Bob the `b`-side, and
+//! all information between them crosses a constant-size edge cut. Because
+//! Set Disjointness requires `Ω(n)` bits of communication, a correct
+//! algorithm must push `Ω(universe)` bits over that cut.
+//!
+//! This crate builds both gadgets, decodes the Set Disjointness answer from
+//! a solver's output exactly as the reduction prescribes, and measures the
+//! bits our algorithms actually send across the cut (experiments E9/E10).
+
+pub mod comm;
+pub mod gadgets;
+
+pub use comm::{measure_cr_gadget, measure_ic_gadget, CutExperiment};
+pub use gadgets::{cr_gadget, ic_gadget, CrGadget, IcGadget, SetDisjointness};

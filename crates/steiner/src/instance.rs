@@ -1,0 +1,438 @@
+//! The two input encodings of the distributed Steiner forest problem.
+//!
+//! * **DSF-IC** (Definition 2.2): every node `v` holds a label
+//!   `λ(v) ∈ Λ ∪ {⊥}`; terminals sharing a label form an *input component*
+//!   that the output forest must connect. Modeled by [`Instance`].
+//! * **DSF-CR** (Definition 2.1): every node holds a set of *connection
+//!   requests* `R_v ⊆ V`; `v` must be connected to each `w ∈ R_v`. Modeled
+//!   by [`ConnectionRequests`].
+//!
+//! Lemma 2.3 converts CR to IC (distributed version in `dsf-core`;
+//! [`ConnectionRequests::to_components`] is the centralized reference).
+//! Lemma 2.4 drops singleton components ([`Instance::make_minimal`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dsf_graph::{NodeId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::solution::ForestSolution;
+
+/// Identifier of an input component (`λ ∈ Λ`); encoded in `O(log n)` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// Index into per-component arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}", self.0)
+    }
+}
+
+/// Errors raised while building an [`Instance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A node was assigned to two components.
+    Relabeled(NodeId),
+    /// A node id exceeded the graph size.
+    NodeOutOfRange(NodeId),
+    /// A component was empty.
+    EmptyComponent,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::Relabeled(v) => write!(f, "{v} assigned to two components"),
+            InstanceError::NodeOutOfRange(v) => write!(f, "{v} out of range"),
+            InstanceError::EmptyComponent => write!(f, "empty component"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A DSF-IC instance: a disjoint family of terminal sets over `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    n: usize,
+    /// `label[v] = Some(λ)` iff `v` is a terminal of component `λ`.
+    label: Vec<Option<ComponentId>>,
+    /// `components[λ]` lists the terminals with label `λ`, sorted.
+    components: Vec<Vec<NodeId>>,
+}
+
+/// Builds an [`Instance`] component by component.
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    n: usize,
+    label: Vec<Option<ComponentId>>,
+    components: Vec<Vec<NodeId>>,
+    error: Option<InstanceError>,
+}
+
+impl InstanceBuilder {
+    /// Starts building an instance over the nodes of `g`.
+    pub fn new(g: &WeightedGraph) -> Self {
+        InstanceBuilder {
+            n: g.n(),
+            label: vec![None; g.n()],
+            components: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Adds one input component consisting of `terminals`.
+    ///
+    /// Errors are deferred to [`InstanceBuilder::build`].
+    pub fn component(mut self, terminals: &[NodeId]) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if terminals.is_empty() {
+            self.error = Some(InstanceError::EmptyComponent);
+            return self;
+        }
+        let id = ComponentId(self.components.len() as u32);
+        let mut sorted: Vec<NodeId> = terminals.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &t in &sorted {
+            if t.idx() >= self.n {
+                self.error = Some(InstanceError::NodeOutOfRange(t));
+                return self;
+            }
+            if self.label[t.idx()].is_some() {
+                self.error = Some(InstanceError::Relabeled(t));
+                return self;
+            }
+            self.label[t.idx()] = Some(id);
+        }
+        self.components.push(sorted);
+        self
+    }
+
+    /// Finishes the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred construction error, if any.
+    pub fn build(self) -> Result<Instance, InstanceError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Instance {
+            n: self.n,
+            label: self.label,
+            components: self.components,
+        })
+    }
+}
+
+impl Instance {
+    /// Number of nodes of the underlying graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of input components `k`.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of terminals `t`.
+    pub fn t(&self) -> usize {
+        self.components.iter().map(Vec::len).sum()
+    }
+
+    /// The label of node `v` (`None` for non-terminals).
+    pub fn label(&self, v: NodeId) -> Option<ComponentId> {
+        self.label[v.idx()]
+    }
+
+    /// All terminals, sorted by node id.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        let mut ts: Vec<NodeId> = self
+            .label
+            .iter()
+            .enumerate()
+            .filter_map(|(v, l)| l.map(|_| NodeId::from(v)))
+            .collect();
+        ts.sort_unstable();
+        ts
+    }
+
+    /// The terminal lists, indexed by [`ComponentId`].
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// Terminals of one component.
+    pub fn component(&self, c: ComponentId) -> &[NodeId] {
+        &self.components[c.idx()]
+    }
+
+    /// An instance is *minimal* if every component has ≥ 2 terminals
+    /// (Definition 2.2).
+    pub fn is_minimal(&self) -> bool {
+        self.components.iter().all(|c| c.len() >= 2)
+    }
+
+    /// Drops singleton components (Lemma 2.4, centralized reference).
+    pub fn make_minimal(&self) -> Instance {
+        let mut label = vec![None; self.n];
+        let mut components = Vec::new();
+        for comp in &self.components {
+            if comp.len() >= 2 {
+                let id = ComponentId(components.len() as u32);
+                for &t in comp {
+                    label[t.idx()] = Some(id);
+                }
+                components.push(comp.clone());
+            }
+        }
+        Instance {
+            n: self.n,
+            label,
+            components,
+        }
+    }
+
+    /// Whether `F` connects every input component (Definition 2.2's output
+    /// condition).
+    pub fn is_feasible(&self, g: &WeightedGraph, f: &ForestSolution) -> bool {
+        let comps = g.components_of(f.edges());
+        self.components.iter().all(|terms| {
+            terms
+                .windows(2)
+                .all(|w| comps[w[0].idx()] == comps[w[1].idx()])
+        })
+    }
+}
+
+/// A DSF-CR instance: per-node connection request sets `R_v`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnectionRequests {
+    /// `requests[v]` is `R_v`, sorted.
+    requests: Vec<Vec<NodeId>>,
+}
+
+impl ConnectionRequests {
+    /// Creates empty request sets for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        ConnectionRequests {
+            requests: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the request "connect `v` to `w`" (stored at `v`, matching the
+    /// asymmetric input convention of Definition 2.1).
+    pub fn request(&mut self, v: NodeId, w: NodeId) {
+        assert!(v != w, "self-request");
+        if !self.requests[v.idx()].contains(&w) {
+            self.requests[v.idx()].push(w);
+            self.requests[v.idx()].sort_unstable();
+        }
+    }
+
+    /// The request set `R_v`.
+    pub fn of(&self, v: NodeId) -> &[NodeId] {
+        &self.requests[v.idx()]
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The terminal set `T` (Definition 2.1): requesters and requestees.
+    pub fn terminals(&self) -> Vec<NodeId> {
+        let mut ts = Vec::new();
+        for (v, r) in self.requests.iter().enumerate() {
+            if !r.is_empty() {
+                ts.push(NodeId::from(v));
+            }
+            ts.extend_from_slice(r);
+        }
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Centralized reference of Lemma 2.3: the transitive closure of the
+    /// request relation partitions the terminals into equivalent input
+    /// components.
+    pub fn to_components(&self, g: &WeightedGraph) -> Instance {
+        let mut uf = dsf_graph::union_find::UnionFind::new(g.n());
+        for (v, reqs) in self.requests.iter().enumerate() {
+            for w in reqs {
+                uf.union(v, w.idx());
+            }
+        }
+        let terminals = self.terminals();
+        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for &t in &terminals {
+            groups.entry(uf.find(t.idx())).or_default().push(t);
+        }
+        let mut keys: Vec<usize> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        let mut b = InstanceBuilder::new(g);
+        for key in keys {
+            b = b.component(&groups[&key]);
+        }
+        b.build().expect("groups are disjoint by construction")
+    }
+}
+
+/// Samples a random DSF-IC instance: `k` disjoint components of
+/// `comp_size` terminals each, drawn uniformly from the nodes of `g`.
+///
+/// # Panics
+///
+/// Panics if `k * comp_size > g.n()`.
+pub fn random_instance(g: &WeightedGraph, k: usize, comp_size: usize, seed: u64) -> Instance {
+    assert!(
+        k * comp_size <= g.n(),
+        "cannot place {k} disjoint components of size {comp_size} in {} nodes",
+        g.n()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..g.n()).collect();
+    for i in 0..(k * comp_size) {
+        let j = rng.gen_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    let mut b = InstanceBuilder::new(g);
+    for c in 0..k {
+        let terms: Vec<NodeId> = ids[c * comp_size..(c + 1) * comp_size]
+            .iter()
+            .map(|&i| NodeId::from(i))
+            .collect();
+        b = b.component(&terms);
+    }
+    b.build().expect("sampled components are disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_graph::generators;
+
+    fn g10() -> WeightedGraph {
+        generators::gnp_connected(10, 0.4, 6, 3)
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let g = g10();
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(4)])
+            .component(&[NodeId(2), NodeId(7), NodeId(9)])
+            .build()
+            .unwrap();
+        assert_eq!(inst.k(), 2);
+        assert_eq!(inst.t(), 5);
+        assert_eq!(inst.label(NodeId(7)), Some(ComponentId(1)));
+        assert_eq!(inst.label(NodeId(0)), None);
+        assert_eq!(
+            inst.terminals(),
+            vec![NodeId(1), NodeId(2), NodeId(4), NodeId(7), NodeId(9)]
+        );
+        assert!(inst.is_minimal());
+    }
+
+    #[test]
+    fn builder_rejects_overlap() {
+        let g = g10();
+        let err = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(4)])
+            .component(&[NodeId(4), NodeId(5)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, InstanceError::Relabeled(NodeId(4)));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_and_empty() {
+        let g = g10();
+        assert_eq!(
+            InstanceBuilder::new(&g)
+                .component(&[NodeId(99)])
+                .build()
+                .unwrap_err(),
+            InstanceError::NodeOutOfRange(NodeId(99))
+        );
+        assert_eq!(
+            InstanceBuilder::new(&g).component(&[]).build().unwrap_err(),
+            InstanceError::EmptyComponent
+        );
+    }
+
+    #[test]
+    fn minimality() {
+        let g = g10();
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0)])
+            .component(&[NodeId(1), NodeId(2)])
+            .build()
+            .unwrap();
+        assert!(!inst.is_minimal());
+        let min = inst.make_minimal();
+        assert!(min.is_minimal());
+        assert_eq!(min.k(), 1);
+        assert_eq!(min.label(NodeId(0)), None);
+        assert_eq!(min.label(NodeId(1)), Some(ComponentId(0)));
+    }
+
+    #[test]
+    fn feasibility_checks_component_connectivity() {
+        let g = generators::path(4, 1); // edges: 0-1 (e0), 1-2 (e1), 2-3 (e2)
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(2)])
+            .build()
+            .unwrap();
+        use dsf_graph::EdgeId;
+        let partial = ForestSolution::from_edges(vec![EdgeId(0)]);
+        assert!(!inst.is_feasible(&g, &partial));
+        let full = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1)]);
+        assert!(inst.is_feasible(&g, &full));
+    }
+
+    #[test]
+    fn requests_to_components_transitive() {
+        let g = g10();
+        let mut cr = ConnectionRequests::new(g.n());
+        cr.request(NodeId(0), NodeId(1));
+        cr.request(NodeId(1), NodeId(2));
+        cr.request(NodeId(5), NodeId(6));
+        let inst = cr.to_components(&g);
+        assert_eq!(inst.k(), 2);
+        // 0,1,2 merged transitively.
+        assert_eq!(inst.label(NodeId(0)), inst.label(NodeId(2)));
+        assert_ne!(inst.label(NodeId(0)), inst.label(NodeId(5)));
+        assert_eq!(
+            cr.terminals(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5), NodeId(6)]
+        );
+    }
+
+    #[test]
+    fn random_instance_is_disjoint() {
+        let g = generators::gnp_connected(30, 0.2, 9, 5);
+        let inst = random_instance(&g, 4, 3, 7);
+        assert_eq!(inst.k(), 4);
+        assert_eq!(inst.t(), 12);
+        assert!(inst.is_minimal());
+        // Determinism.
+        assert_eq!(inst, random_instance(&g, 4, 3, 7));
+    }
+}

@@ -1,0 +1,476 @@
+//! **Algorithm 1**: centralized moat growing (Appendix C).
+//!
+//! All terminals grow "moats" (balls in the weighted metric) around
+//! themselves at a common rate. When two moats touch, a least-weight path
+//! between their defining terminals is added to the output and the moats
+//! merge. A merged moat stays *active* while some input component is split
+//! between it and the rest of the graph; once a component is fully swallowed
+//! the moat turns inactive and stops growing (but can still be hit by an
+//! active moat). The algorithm stops when no active moats remain and returns
+//! the minimal feasible subforest.
+//!
+//! Guarantees reproduced here and asserted by the test-suite:
+//!
+//! * **Theorem 4.1** — the output is 2-approximate;
+//! * **Lemma C.4** — `Σᵢ actᵢ·μᵢ ≤ W(F*)` for every feasible `F*`
+//!   (a certified lower bound on OPT, exposed as [`MoatRun::dual`]).
+//!
+//! Event times are *exact* ([`Dyadic`]): an active–active meeting halves an
+//! integer gap, and ties are broken lexicographically by terminal ids —
+//! the same order the distributed emulation uses, which is what makes the
+//! `distributed == centralized` equivalence tests meaningful (Lemma 4.13).
+
+use dsf_graph::dijkstra::{self, ShortestPaths};
+use dsf_graph::dyadic::Dyadic;
+use dsf_graph::union_find::UnionFind;
+use dsf_graph::{EdgeId, NodeId, WeightedGraph};
+
+use crate::instance::Instance;
+use crate::solution::ForestSolution;
+
+/// One merge step of the run (Definition C.1).
+#[derive(Debug, Clone)]
+pub struct MergeEvent {
+    /// 1-based merge index `i`.
+    pub index: usize,
+    /// The two terminals whose moats met (`v < w` by node id).
+    pub v: NodeId,
+    /// See [`MergeEvent::v`].
+    pub w: NodeId,
+    /// Moat growth `μᵢ` during this step.
+    pub mu: Dyadic,
+    /// Number of active moats at the start of the step (`actᵢ`).
+    pub active_moats: usize,
+    /// Whether one side of the merge was an inactive moat.
+    pub joined_inactive: bool,
+    /// Whether the merged moat is active afterwards.
+    pub new_moat_active: bool,
+    /// Edges newly added to `F` (cycle-closing edges already dropped).
+    pub added_edges: Vec<EdgeId>,
+}
+
+/// Complete result of a moat-growing run.
+#[derive(Debug, Clone)]
+pub struct MoatRun {
+    /// The pruned, minimal feasible solution (the algorithm's output).
+    pub forest: ForestSolution,
+    /// The un-pruned edge set `F_imax` (needed by the distributed
+    /// equivalence tests, which compare against this set).
+    pub raw: ForestSolution,
+    /// The merge log.
+    pub merges: Vec<MergeEvent>,
+    /// The dual lower bound `Σᵢ actᵢ·μᵢ ≤ OPT` (Lemma C.4).
+    pub dual: Dyadic,
+    /// Final radius of each terminal (parallel to
+    /// [`MoatRun::terminals`]).
+    pub radii: Vec<Dyadic>,
+    /// The terminals of the minimalized instance, sorted by node id.
+    pub terminals: Vec<NodeId>,
+}
+
+/// Internal growing state shared by Algorithm 1 and Algorithm 2.
+pub(crate) struct Grower<'a> {
+    g: &'a WeightedGraph,
+    /// Terminals, sorted; indices into all parallel arrays below.
+    pub terms: Vec<NodeId>,
+    /// Shortest-path data from each terminal.
+    pub sp: Vec<ShortestPaths>,
+    /// Moat partition over terminal indices.
+    pub moats: UnionFind,
+    /// Label-class partition over component indices.
+    pub labels: UnionFind,
+    /// Total number of terminals per label-class root.
+    pub label_total: Vec<usize>,
+    /// Label-class of each moat root (indexed by terminal index; valid at
+    /// roots).
+    pub moat_label: Vec<usize>,
+    /// Activity per moat root (valid at roots).
+    pub act: Vec<bool>,
+    /// Radius per terminal.
+    pub rad: Vec<Dyadic>,
+    /// Node-level union-find for cycle-free path insertion.
+    pub node_uf: UnionFind,
+    /// Accumulated raw output edges.
+    pub raw_edges: Vec<EdgeId>,
+}
+
+/// A candidate meeting event between two moats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Meeting {
+    /// Growth needed before the moats touch.
+    pub mu: Dyadic,
+    /// Terminal indices (`a < b` by node id).
+    pub a: usize,
+    /// See [`Meeting::a`].
+    pub b: usize,
+    /// Whether one side is inactive.
+    pub with_inactive: bool,
+}
+
+impl<'a> Grower<'a> {
+    pub(crate) fn new(g: &'a WeightedGraph, inst: &Instance) -> Self {
+        // Lemma 2.4: drop singleton components first.
+        let minimal = inst.make_minimal();
+        let terms = minimal.terminals();
+        let sp: Vec<ShortestPaths> = terms
+            .iter()
+            .map(|&t| dijkstra::shortest_paths(g, t))
+            .collect();
+        let k = minimal.k();
+        let mut label_total = vec![0usize; k];
+        let mut term_label = vec![0usize; terms.len()];
+        for (i, &t) in terms.iter().enumerate() {
+            let l = minimal.label(t).expect("terminal has a label").idx();
+            term_label[i] = l;
+            label_total[l] += 1;
+        }
+        let tlen = terms.len();
+        Grower {
+            g,
+            terms,
+            sp,
+            moats: UnionFind::new(tlen),
+            labels: UnionFind::new(k),
+            label_total,
+            moat_label: term_label,
+            act: vec![true; tlen],
+            rad: vec![Dyadic::ZERO; tlen],
+            node_uf: UnionFind::new(g.n()),
+            raw_edges: Vec::new(),
+        }
+    }
+
+    /// Activity of the moat containing terminal index `i`.
+    pub(crate) fn is_active(&mut self, i: usize) -> bool {
+        let r = self.moats.find(i);
+        self.act[r]
+    }
+
+    /// Number of active moats.
+    pub(crate) fn active_moats(&mut self) -> usize {
+        let n = self.terms.len();
+        (0..n)
+            .filter(|&i| self.moats.find(i) == i && self.act[i])
+            .count()
+    }
+
+    /// The next meeting event: minimum over moat pairs of the growth needed,
+    /// ties broken by `(μ, a, b)` — the paper's lexicographic convention.
+    pub(crate) fn next_meeting(&mut self) -> Option<Meeting> {
+        let n = self.terms.len();
+        let mut best: Option<Meeting> = None;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.moats.same(a, b) {
+                    continue;
+                }
+                let (act_a, act_b) = (self.is_active(a), self.is_active(b));
+                if !act_a && !act_b {
+                    continue;
+                }
+                let wd = Dyadic::from_weight(self.sp[a].dist[self.terms[b].idx()]);
+                let gap = wd - self.rad[a] - self.rad[b];
+                debug_assert!(!gap.is_negative(), "moats overlap before meeting");
+                let (mu, with_inactive) = if act_a && act_b {
+                    (gap.half(), false)
+                } else {
+                    (gap, true)
+                };
+                let cand = Meeting {
+                    mu,
+                    a,
+                    b,
+                    with_inactive,
+                };
+                let better = match best {
+                    None => true,
+                    Some(cur) => (mu, a, b) < (cur.mu, cur.a, cur.b),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+
+    /// Grows all active moats by `mu`.
+    pub(crate) fn grow_by(&mut self, mu: Dyadic) {
+        let n = self.terms.len();
+        for i in 0..n {
+            if self.is_active(i) {
+                self.rad[i] += mu;
+            }
+        }
+    }
+
+    /// Adds the least-weight `a`–`b` path to the raw edge set (dropping
+    /// cycle-closing edges) and merges the moats; returns the added edges
+    /// and whether the merged moat is active.
+    ///
+    /// Activity handling is parameterized: Algorithm 1 re-evaluates the new
+    /// moat immediately (`defer_deactivation = false`); Algorithm 2 keeps
+    /// merged moats active until the next growth-phase checkpoint.
+    pub(crate) fn merge(&mut self, m: Meeting, defer_deactivation: bool) -> (Vec<EdgeId>, bool) {
+        let (a, b) = (m.a, m.b);
+        let path = self.sp[a].path_edges(self.terms[b]);
+        let mut added = Vec::new();
+        for e in path {
+            let ed = self.g.edge(e);
+            if self.node_uf.union(ed.u.idx(), ed.v.idx()) {
+                self.raw_edges.push(e);
+                added.push(e);
+            }
+        }
+        let (ra, rb) = (self.moats.find(a), self.moats.find(b));
+        let (la, lb) = (
+            self.labels.find(self.moat_label[ra]),
+            self.labels.find(self.moat_label[rb]),
+        );
+        // Union label classes; totals accumulate at the new class root.
+        if la != lb {
+            self.labels.union(la, lb);
+            let lroot = self.labels.find(la);
+            self.label_total[lroot] = self.label_total[la] + self.label_total[lb];
+        }
+        let lroot = self.labels.find(la);
+        self.moats.union(a, b);
+        let mroot = self.moats.find(a);
+        self.moat_label[mroot] = lroot;
+        let active = if defer_deactivation {
+            true
+        } else {
+            // Inactive iff the merged moat contains its whole label class.
+            self.moats.set_size(mroot) != self.label_total[lroot]
+        };
+        self.act[mroot] = active;
+        (added, active)
+    }
+
+    /// Re-evaluates the activity of every moat (Algorithm 2's checkpoint,
+    /// lines 20–25): a moat becomes inactive iff it is the only moat
+    /// carrying its label class.
+    pub(crate) fn checkpoint_activities(&mut self) {
+        let n = self.terms.len();
+        for i in 0..n {
+            if self.moats.find(i) == i {
+                let lroot = self.labels.find(self.moat_label[i]);
+                self.act[i] = self.moats.set_size(i) != self.label_total[lroot];
+            }
+        }
+    }
+}
+
+/// Runs Algorithm 1 on `inst` (auto-minimalized per Lemma 2.4).
+pub fn grow(g: &WeightedGraph, inst: &Instance) -> MoatRun {
+    let mut gr = Grower::new(g, inst);
+    let mut merges = Vec::new();
+    let mut dual = Dyadic::ZERO;
+    let mut index = 0;
+    loop {
+        let act_count = gr.active_moats();
+        if act_count == 0 {
+            break;
+        }
+        let m = gr
+            .next_meeting()
+            .expect("active moats always have a next meeting on a connected graph");
+        index += 1;
+        dual += m.mu.mul_int(act_count as i128);
+        gr.grow_by(m.mu);
+        let (added, new_active) = gr.merge(m, false);
+        merges.push(MergeEvent {
+            index,
+            v: gr.terms[m.a],
+            w: gr.terms[m.b],
+            mu: m.mu,
+            active_moats: act_count,
+            joined_inactive: m.with_inactive,
+            new_moat_active: new_active,
+            added_edges: added,
+        });
+    }
+    let raw = ForestSolution::from_edges(gr.raw_edges.clone());
+    let forest = raw.prune_to_minimal(g, inst);
+    MoatRun {
+        forest,
+        raw,
+        merges,
+        dual,
+        radii: gr.rad.clone(),
+        terminals: gr.terms.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::instance::{random_instance, InstanceBuilder};
+    use dsf_graph::generators;
+
+    #[test]
+    fn two_terminals_get_shortest_path() {
+        let g = generators::path(5, 2);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(4)])
+            .build()
+            .unwrap();
+        let run = grow(&g, &inst);
+        assert_eq!(run.forest.weight(&g), 8);
+        assert_eq!(run.merges.len(), 1);
+        // Dual for a single pair: both moats grow to wd/2 each; the single
+        // merge contributes act=2 times mu=wd/2 = wd.
+        assert_eq!(run.dual, Dyadic::from_int(8));
+    }
+
+    #[test]
+    fn feasible_forest_and_two_approx_on_random_instances() {
+        for seed in 0..12 {
+            let g = generators::gnp_connected(18, 0.25, 12, seed);
+            let inst = random_instance(&g, 3, 2, seed + 100);
+            let run = grow(&g, &inst);
+            assert!(inst.is_feasible(&g, &run.forest), "seed {seed}");
+            assert!(run.forest.is_forest(&g), "seed {seed}");
+            let w = run.forest.weight(&g) as f64;
+            // Theorem 4.1 via Lemma C.4: W(F) < 2·dual.
+            assert!(
+                w < 2.0 * run.dual.to_f64() + 1e-9,
+                "seed {seed}: w={w} dual={}",
+                run.dual.to_f64()
+            );
+            // And the dual really lower-bounds OPT.
+            let opt = exact::solve(&g, &inst).weight as f64;
+            assert!(
+                run.dual.to_f64() <= opt + 1e-9,
+                "seed {seed}: dual={} opt={opt}",
+                run.dual.to_f64()
+            );
+            assert!(w <= 2.0 * opt + 1e-9, "seed {seed}: ratio violated");
+        }
+    }
+
+    #[test]
+    fn steiner_tree_case_matches_terminal_mst_bound() {
+        // k = 1: output is induced by an MST on the terminal metric
+        // (paper Section 1, Main Techniques). On a star with unit arms the
+        // optimum is the star itself.
+        let g = generators::star(6, 1, 0);
+        let inst = InstanceBuilder::new(&g)
+            .component(&(1..6).map(NodeId).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let run = grow(&g, &inst);
+        assert_eq!(run.forest.weight(&g), 5);
+    }
+
+    #[test]
+    fn inactive_moats_stop_growing() {
+        // Path 0-1-2-3-4-5 (unit weights); components {0,1} and {4,5}.
+        // Each pair meets at radius 1/2 and deactivates; the two moats must
+        // NOT be joined afterwards.
+        let g = generators::path(6, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(1)])
+            .component(&[NodeId(4), NodeId(5)])
+            .build()
+            .unwrap();
+        let run = grow(&g, &inst);
+        assert_eq!(run.merges.len(), 2);
+        assert_eq!(run.forest.weight(&g), 2);
+        assert!(run.merges.iter().all(|m| !m.new_moat_active));
+    }
+
+    #[test]
+    fn mixed_activity_merge() {
+        // Path 0 -4- 1 -2- 2 -4- 3 -4- 4. Component A = {0, 4} spans the
+        // whole path; component B = {1, 2} satisfies itself early (its moats
+        // meet at μ = 1 and deactivate). A's solution must then absorb B's
+        // inactive moat on its way — an active-inactive merge (μ'' event).
+        let mut b = dsf_graph::GraphBuilder::new(5);
+        for (i, w) in [4u64, 2, 4, 4].iter().enumerate() {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w).unwrap();
+        }
+        let g = b.build().unwrap();
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(4)])
+            .component(&[NodeId(1), NodeId(2)])
+            .build()
+            .unwrap();
+        let run = grow(&g, &inst);
+        assert!(inst.is_feasible(&g, &run.forest));
+        // The whole path is needed: weight 14.
+        assert_eq!(run.forest.weight(&g), 14);
+        assert!(run.merges.iter().any(|m| m.joined_inactive));
+        // B's self-merge deactivates its moat.
+        assert!(run.merges.iter().any(|m| !m.new_moat_active));
+    }
+
+    #[test]
+    fn singleton_components_are_dropped() {
+        let g = generators::path(4, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0)])
+            .component(&[NodeId(2), NodeId(3)])
+            .build()
+            .unwrap();
+        let run = grow(&g, &inst);
+        assert_eq!(run.terminals, vec![NodeId(2), NodeId(3)]);
+        assert_eq!(run.forest.weight(&g), 1);
+    }
+
+    #[test]
+    fn empty_instance_empty_output() {
+        let g = generators::path(3, 1);
+        let inst = InstanceBuilder::new(&g).build().unwrap();
+        let run = grow(&g, &inst);
+        assert!(run.forest.is_empty());
+        assert!(run.merges.is_empty());
+        assert!(run.dual.is_zero());
+    }
+
+    #[test]
+    fn radii_are_nonnegative_and_bounded_by_half_wd() {
+        // Lemma F.1's argument: Σμᵢ ≤ WD/2, so no radius exceeds WD/2.
+        for seed in 0..6 {
+            let g = generators::gnp_connected(14, 0.3, 9, seed);
+            let inst = random_instance(&g, 2, 3, seed);
+            let run = grow(&g, &inst);
+            let wd = dsf_graph::metrics::weighted_diameter(&g) as f64;
+            for r in &run.radii {
+                assert!(!r.is_negative(), "seed {seed}: negative radius");
+                assert!(r.to_f64() <= wd / 2.0 + 1e-9, "seed {seed}: radius > WD/2");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_count_is_terminals_minus_components_of_gc() {
+        // Every merge joins two distinct moats: imax ≤ t - 1, and the
+        // number of merges equals t minus the surviving moat count.
+        let g = generators::gnp_connected(15, 0.3, 8, 4);
+        let inst = random_instance(&g, 3, 2, 4);
+        let run = grow(&g, &inst);
+        assert!(run.merges.len() <= run.terminals.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn dual_matches_hand_computation_on_triangle() {
+        // Triangle with weights 2,2,3; terminals all in one component.
+        // Moats: three active moats, first meeting on a weight-2 edge at
+        // mu = 1 (act = 3). Then two moats, gap on the other weight-2
+        // edge: wd=2, radii 1+1 -> gap 0, mu = 0 (act = 2). Dual = 3.
+        let mut b = dsf_graph::GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 3).unwrap();
+        let g = b.build().unwrap();
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(1), NodeId(2)])
+            .build()
+            .unwrap();
+        let run = grow(&g, &inst);
+        assert_eq!(run.dual, Dyadic::from_int(3));
+        assert_eq!(run.forest.weight(&g), 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! **Algorithm 2**: moat growing with rounded radii (Appendix D).
+//!
+//! Identical to Algorithm 1, except that moats change their activity status
+//! only at *checkpoints* — radii at which the total growth reaches the
+//! threshold `μ̂`, which then multiplies by `1 + ε/2`. This caps the number
+//! of distinct radii at which activity can change by `O(log WD / ε)` growth
+//! phases (Lemma F.1), the key to the `Õ(sk + √min{st,n})` distributed
+//! variant, at the price of a `(2+ε)` approximation factor (Theorem 4.2).
+//!
+//! ## Threshold quantization
+//!
+//! The exact schedule `μ̂_g = (1+ε/2)^g` has dyadic representations whose
+//! exponents grow linearly in `g`, overflowing any fixed-width mantissa.
+//! We therefore round each new threshold *down* to a dyadic with exponent
+//! `≤ 16`. Rounding down preserves `μ̂_{g+1} ≤ (1+ε/2)·μ̂_g`, which is the
+//! inequality Corollary D.1's charging argument consumes (a *bad* moat is
+//! charged at most `ε/2` times the elapsed growth), so the `(2+ε)` factor
+//! is unaffected; growth only slows by a negligible amount, adding `O(1)`
+//! growth phases. If quantization would stall the schedule we force a
+//! minimum step of `2^-16`.
+
+use dsf_graph::dyadic::Dyadic;
+use dsf_graph::WeightedGraph;
+
+use crate::instance::Instance;
+use crate::moat::{Grower, MergeEvent};
+use crate::solution::ForestSolution;
+
+/// Result of an Algorithm 2 run.
+#[derive(Debug, Clone)]
+pub struct RoundedRun {
+    /// Pruned, minimal feasible output.
+    pub forest: ForestSolution,
+    /// Un-pruned edge set.
+    pub raw: ForestSolution,
+    /// Merge log (checkpoint steps do not merge and are not logged).
+    pub merges: Vec<MergeEvent>,
+    /// Number of growth phases (checkpoints) executed; Lemma F.1 bounds
+    /// this by `O(log WD / ε)`.
+    pub growth_phases: usize,
+    /// `Σᵢ actᵢ·μᵢ`; by Corollary D.1, `dual ≤ (1+ε/2)·OPT`.
+    pub dual: Dyadic,
+}
+
+/// Maximum dyadic exponent of the quantized `μ̂` schedule.
+const MU_HAT_EXP: u32 = 16;
+
+/// Advances the threshold: `μ̂ ← quantize((1+ε/2)·μ̂)`, never stalling.
+/// Shared with the distributed growth-phase driver so both follow the
+/// identical schedule.
+pub fn next_mu_hat(mu_hat: Dyadic, eps: Dyadic) -> Dyadic {
+    let factor = Dyadic::ONE + eps.half();
+    let next = mu_hat.mul(factor).round_down_to_exp(MU_HAT_EXP);
+    if next > mu_hat {
+        next
+    } else {
+        mu_hat + Dyadic::new(1, MU_HAT_EXP)
+    }
+}
+
+/// Runs Algorithm 2 with parameter `eps > 0` (a dyadic rational, e.g.
+/// `Dyadic::new(1, 1)` for `ε = 1/2`).
+///
+/// # Panics
+///
+/// Panics if `eps` is not strictly positive.
+pub fn grow_rounded(g: &WeightedGraph, inst: &Instance, eps: Dyadic) -> RoundedRun {
+    assert!(eps.is_positive(), "epsilon must be positive");
+    let mut gr = Grower::new(g, inst);
+    let mut merges = Vec::new();
+    let mut dual = Dyadic::ZERO;
+    let mut elapsed = Dyadic::ZERO; // Σ μ_j so far
+    let mut mu_hat = Dyadic::ONE;
+    let mut growth_phases = 0usize;
+    let mut index = 0usize;
+
+    loop {
+        let act_count = gr.active_moats();
+        if act_count == 0 {
+            break;
+        }
+        let meeting = gr.next_meeting();
+        // Does the next meeting happen before the checkpoint?
+        let meets_first = meeting
+            .as_ref()
+            .map_or(false, |m| elapsed + m.mu < mu_hat);
+        if meets_first {
+            let m = meeting.expect("checked above");
+            index += 1;
+            dual += m.mu.mul_int(act_count as i128);
+            gr.grow_by(m.mu);
+            elapsed += m.mu;
+            // Algorithm 2 line 33: merged moats stay active until the next
+            // checkpoint.
+            let (added, _) = gr.merge(m, true);
+            merges.push(MergeEvent {
+                index,
+                v: gr.terms[m.a],
+                w: gr.terms[m.b],
+                mu: m.mu,
+                active_moats: act_count,
+                joined_inactive: m.with_inactive,
+                new_moat_active: true,
+                added_edges: added,
+            });
+        } else {
+            // Checkpoint: grow to exactly μ̂, re-evaluate activity, raise μ̂.
+            let mu = mu_hat - elapsed;
+            debug_assert!(!mu.is_negative());
+            dual += mu.mul_int(act_count as i128);
+            gr.grow_by(mu);
+            elapsed = mu_hat;
+            gr.checkpoint_activities();
+            mu_hat = next_mu_hat(mu_hat, eps);
+            growth_phases += 1;
+        }
+    }
+
+    let raw = ForestSolution::from_edges(gr.raw_edges.clone());
+    let forest = raw.prune_to_minimal(g, inst);
+    RoundedRun {
+        forest,
+        raw,
+        merges,
+        growth_phases,
+        dual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use crate::instance::{random_instance, InstanceBuilder};
+    use dsf_graph::{generators, NodeId};
+
+    fn eps_half() -> Dyadic {
+        Dyadic::new(1, 1)
+    }
+
+    #[test]
+    fn simple_pair_still_shortest_path() {
+        let g = generators::path(5, 2);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(4)])
+            .build()
+            .unwrap();
+        let run = grow_rounded(&g, &inst, eps_half());
+        assert_eq!(run.forest.weight(&g), 8);
+        assert!(run.growth_phases > 0);
+    }
+
+    #[test]
+    fn approximation_factor_two_plus_eps() {
+        for seed in 0..10 {
+            let g = generators::gnp_connected(16, 0.3, 10, seed + 40);
+            let inst = random_instance(&g, 3, 2, seed);
+            for eps in [Dyadic::new(1, 3), Dyadic::new(1, 1), Dyadic::from_int(1)] {
+                let run = grow_rounded(&g, &inst, eps);
+                assert!(inst.is_feasible(&g, &run.forest), "seed {seed}");
+                let w = run.forest.weight(&g) as f64;
+                let opt = exact::solve(&g, &inst).weight as f64;
+                let bound = (2.0 + eps.to_f64()) * opt + 1e-6;
+                assert!(
+                    w <= bound,
+                    "seed {seed} eps {}: w={w} opt={opt}",
+                    eps.to_f64()
+                );
+                // Corollary D.1: dual <= (1 + eps/2) * OPT.
+                assert!(run.dual.to_f64() <= (1.0 + eps.to_f64() / 2.0) * opt + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_phase_count_is_logarithmic() {
+        // WD grows linearly with the path length; phases ~ log_{1+eps/2} WD.
+        let g = generators::path(40, 50); // WD = 1950
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(39)])
+            .build()
+            .unwrap();
+        let run = grow_rounded(&g, &inst, eps_half());
+        // log_{1.25}(975) ≈ 31; quantization may add a handful.
+        assert!(
+            run.growth_phases <= 40,
+            "phases = {}",
+            run.growth_phases
+        );
+    }
+
+    #[test]
+    fn matches_algorithm_one_weight_on_separated_pairs() {
+        // When components are far apart the rounding cannot hurt: each pair
+        // is connected by its shortest path in both algorithms.
+        let g = generators::path(9, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(1)])
+            .component(&[NodeId(7), NodeId(8)])
+            .build()
+            .unwrap();
+        let rounded = grow_rounded(&g, &inst, eps_half());
+        let plain = crate::moat::grow(&g, &inst);
+        assert_eq!(rounded.forest.weight(&g), plain.forest.weight(&g));
+    }
+
+    #[test]
+    fn mu_hat_schedule_grows_and_is_bounded() {
+        let mut mu_hat = Dyadic::ONE;
+        let eps = Dyadic::new(1, 3); // 1/8
+        for _ in 0..200 {
+            let next = next_mu_hat(mu_hat, eps);
+            assert!(next > mu_hat);
+            // Never exceeds the exact geometric schedule.
+            assert!(next <= mu_hat.mul(Dyadic::ONE + eps.half()) + Dyadic::new(1, MU_HAT_EXP));
+            mu_hat = next;
+        }
+        // After 200 steps of factor <= 1.0625 the exponent stays tame.
+        assert!(mu_hat.raw().1 <= MU_HAT_EXP);
+    }
+}

@@ -1,0 +1,265 @@
+//! Solutions are edge sets; this module adds validation and the
+//! minimal-subforest pruning both algorithms end with ("return minimal
+//! feasible subset of `F`", Algorithm 1 line 34).
+
+use std::collections::HashMap;
+
+use dsf_graph::{EdgeId, NodeId, Weight, WeightedGraph};
+
+use crate::instance::Instance;
+
+/// An edge-set solution, kept sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ForestSolution {
+    edges: Vec<EdgeId>,
+}
+
+impl ForestSolution {
+    /// Wraps an edge set (sorts and deduplicates).
+    pub fn from_edges(mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        ForestSolution { edges }
+    }
+
+    /// The empty solution.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The selected edges, sorted by id.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of selected edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edge is selected.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether `e` is selected.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Total weight `W(F)`.
+    pub fn weight(&self, g: &WeightedGraph) -> Weight {
+        g.total_weight(self.edges.iter())
+    }
+
+    /// Whether the edge set is acyclic (a forest).
+    pub fn is_forest(&self, g: &WeightedGraph) -> bool {
+        let mut uf = dsf_graph::union_find::UnionFind::new(g.n());
+        self.edges.iter().all(|&e| {
+            let ed = g.edge(e);
+            uf.union(ed.u.idx(), ed.v.idx())
+        })
+    }
+
+    /// Union of two solutions.
+    pub fn union(&self, other: &ForestSolution) -> ForestSolution {
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        ForestSolution::from_edges(edges)
+    }
+
+    /// The minimal subset of this (feasible, forest) solution that still
+    /// solves `inst`: an edge is kept iff its removal would disconnect two
+    /// terminals of the same component *within its tree*.
+    ///
+    /// This is the final pruning step of both Algorithm 1 and the
+    /// distributed algorithms. Runs in `O(|F| · avg-labels)` via bottom-up
+    /// label counting with small-to-large map merging.
+    pub fn prune_to_minimal(&self, g: &WeightedGraph, inst: &Instance) -> ForestSolution {
+        // Adjacency restricted to F.
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); g.n()];
+        for &e in &self.edges {
+            let ed = g.edge(e);
+            adj[ed.u.idx()].push((ed.v, e));
+            adj[ed.v.idx()].push((ed.u, e));
+        }
+        // Per-tree totals: count of each label inside the tree.
+        let comps = g.components_of(&self.edges);
+        let mut tree_totals: HashMap<NodeId, HashMap<u32, u32>> = HashMap::new();
+        for v in g.nodes() {
+            if let Some(l) = inst.label(v) {
+                *tree_totals
+                    .entry(comps[v.idx()])
+                    .or_default()
+                    .entry(l.0)
+                    .or_insert(0) += 1;
+            }
+        }
+
+        let mut kept: Vec<EdgeId> = Vec::new();
+        let mut visited = vec![false; g.n()];
+        // Iterative post-order DFS per tree, merging label-count maps upward.
+        for root in g.nodes() {
+            if visited[root.idx()] || adj[root.idx()].is_empty() {
+                continue;
+            }
+            let totals = match tree_totals.get(&comps[root.idx()]) {
+                Some(t) => t,
+                None => continue, // tree without terminals: nothing kept
+            };
+            let mut counts: Vec<HashMap<u32, u32>> = vec![HashMap::new(); g.n()];
+            // Stack entries: (node, parent, incoming edge, expanded?).
+            let mut stack: Vec<(NodeId, Option<(NodeId, EdgeId)>, bool)> =
+                vec![(root, None, false)];
+            while let Some((v, par, expanded)) = stack.pop() {
+                if expanded {
+                    // All children merged into counts[v]; add own label.
+                    if let Some(l) = inst.label(v) {
+                        *counts[v.idx()].entry(l.0).or_insert(0) += 1;
+                    }
+                    if let Some((p, e)) = par {
+                        // Edge needed iff some label is split by it.
+                        let needed = counts[v.idx()]
+                            .iter()
+                            .any(|(l, &c)| c > 0 && c < totals[l]);
+                        if needed {
+                            kept.push(e);
+                        }
+                        // Small-to-large merge into the parent.
+                        let child_map = std::mem::take(&mut counts[v.idx()]);
+                        let parent_map = &mut counts[p.idx()];
+                        if parent_map.len() < child_map.len() {
+                            let old = std::mem::replace(parent_map, child_map);
+                            for (l, c) in old {
+                                *parent_map.entry(l).or_insert(0) += c;
+                            }
+                        } else {
+                            for (l, c) in child_map {
+                                *parent_map.entry(l).or_insert(0) += c;
+                            }
+                        }
+                    }
+                } else {
+                    visited[v.idx()] = true;
+                    stack.push((v, par, true));
+                    for &(u, e) in &adj[v.idx()] {
+                        if par.map_or(true, |(p, _)| p != u) && !visited[u.idx()] {
+                            stack.push((u, Some((v, e)), false));
+                        }
+                    }
+                }
+            }
+        }
+        ForestSolution::from_edges(kept)
+    }
+}
+
+impl FromIterator<EdgeId> for ForestSolution {
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        ForestSolution::from_edges(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use dsf_graph::generators;
+
+    #[test]
+    fn weight_and_membership() {
+        let g = generators::path(4, 3);
+        let f = ForestSolution::from_edges(vec![EdgeId(2), EdgeId(0), EdgeId(2)]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.weight(&g), 6);
+        assert!(f.contains(EdgeId(0)));
+        assert!(!f.contains(EdgeId(1)));
+        assert!(f.is_forest(&g));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let g = generators::ring(4, 5, 1);
+        let all: ForestSolution = (0..4).map(EdgeId).collect();
+        assert!(!all.is_forest(&g));
+        let tree: ForestSolution = (0..3).map(EdgeId).collect();
+        assert!(tree.is_forest(&g));
+    }
+
+    #[test]
+    fn prune_drops_dangling_branches() {
+        // Path 0-1-2-3-4; component {1, 3}. Edges e0 and e3 are useless.
+        let g = generators::path(5, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(3)])
+            .build()
+            .unwrap();
+        let full: ForestSolution = (0..4).map(EdgeId).collect();
+        let pruned = full.prune_to_minimal(&g, &inst);
+        assert_eq!(pruned.edges(), &[EdgeId(1), EdgeId(2)]);
+        assert!(inst.is_feasible(&g, &pruned));
+    }
+
+    #[test]
+    fn prune_keeps_shared_trunk_of_two_components() {
+        // Star: center 0 with leaves 1..=4; components {1,2} and {3,4}.
+        let g = generators::star(5, 1, 0);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(2)])
+            .component(&[NodeId(3), NodeId(4)])
+            .build()
+            .unwrap();
+        let full: ForestSolution = (0..4).map(EdgeId).collect();
+        let pruned = full.prune_to_minimal(&g, &inst);
+        // Everything is needed: each leaf edge separates a terminal.
+        assert_eq!(pruned.len(), 4);
+    }
+
+    #[test]
+    fn prune_handles_multiple_trees() {
+        // Two disjoint paths inside one graph: 0-1-2 and 3-4-5 joined by a
+        // bridge we do not select. Components {0,2} and {3,5}.
+        let g = generators::path(6, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(2)])
+            .component(&[NodeId(3), NodeId(5)])
+            .build()
+            .unwrap();
+        // Select everything except the bridge e2 = {2,3}.
+        let f: ForestSolution = vec![EdgeId(0), EdgeId(1), EdgeId(3), EdgeId(4)]
+            .into_iter()
+            .collect();
+        let pruned = f.prune_to_minimal(&g, &inst);
+        assert_eq!(pruned.len(), 4);
+        assert!(inst.is_feasible(&g, &pruned));
+    }
+
+    #[test]
+    fn union_merges_and_deduplicates() {
+        let a = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(2)]);
+        let b = ForestSolution::from_edges(vec![EdgeId(2), EdgeId(3)]);
+        let u = a.union(&b);
+        assert_eq!(u.edges(), &[EdgeId(0), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn prune_is_idempotent() {
+        let g = generators::path(6, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(4)])
+            .build()
+            .unwrap();
+        let full: ForestSolution = (0..5).map(EdgeId).collect();
+        let once = full.prune_to_minimal(&g, &inst);
+        let twice = once.prune_to_minimal(&g, &inst);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn prune_empty_instance_clears_everything() {
+        let g = generators::path(4, 1);
+        let inst = InstanceBuilder::new(&g).build().unwrap();
+        let full: ForestSolution = (0..3).map(EdgeId).collect();
+        assert!(full.prune_to_minimal(&g, &inst).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 1 in action: the Set Disjointness reduction behind the paper's
+//! `Ω(k)` lower bound (Lemma 3.3).
+//!
+//! Alice's star and Bob's star are joined by one bridge edge; element `i`
+//! belongs to both sets iff components force `a_i` and `b_i` to connect —
+//! which can only happen across the bridge. Watching the bits that cross
+//! the bridge while our (correct) algorithm runs shows the `Ω(k)`
+//! information bottleneck concretely.
+//!
+//! ```text
+//! cargo run --example lower_bound_gadget
+//! ```
+
+use steiner_forest::lower_bounds::{measure_ic_gadget, SetDisjointness};
+
+fn main() {
+    println!("universe | instance   | decoded    | correct | bits over bridge");
+    println!("---------+------------+------------+---------+-----------------");
+    for universe in [8usize, 16, 32, 64] {
+        for intersect in [false, true] {
+            let exp = measure_ic_gadget(universe, intersect, 5);
+            println!(
+                "{:>8} | {:<10} | {:<10} | {:<7} | {:>6}  ({:.1} bits/element)",
+                universe,
+                if intersect { "A∩B≠∅" } else { "disjoint" },
+                if exp.decoded_disjoint { "disjoint" } else { "A∩B≠∅" },
+                exp.correct(),
+                exp.cut_bits,
+                exp.cut_bits as f64 / universe as f64,
+            );
+        }
+    }
+
+    // The reduction itself, spelled out once.
+    let sd = SetDisjointness::sample_hard(16, true, 1);
+    println!(
+        "\nexample instance: |A|={} |B|={} disjoint={}",
+        sd.a.iter().filter(|&&x| x).count(),
+        sd.b.iter().filter(|&&x| x).count(),
+        sd.disjoint()
+    );
+    println!(
+        "Lemma 3.3: any finite-approximation DSF-IC algorithm answers Set\n\
+         Disjointness through this gadget, so it must move Ω(k) bits across\n\
+         the single bridge edge — hence Ω(k/log n) rounds."
+    );
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: every solver on common instance suites, with
+//! the paper's inequality chain checked end-to-end:
+//!
+//! `dual ≤ OPT ≤ W(det) ≤ 2·OPT`, `W(growth) ≤ (2+ε)·OPT`,
+//! `W(randomized) ≤ O(log n)·OPT`, and all outputs feasible.
+
+use steiner_forest::baselines::khan::{solve_khan, KhanConfig};
+use steiner_forest::baselines::solve_collect_at_root;
+use steiner_forest::core::det::{solve_growth, GrowthConfig};
+use steiner_forest::graph::dyadic::Dyadic;
+use steiner_forest::prelude::*;
+use steiner_forest::steiner::{exact, moat, random_instance};
+
+fn suite() -> Vec<(WeightedGraph, Instance)> {
+    let mut cases = Vec::new();
+    for seed in 0..4u64 {
+        let g = generators::gnp_connected(16, 0.25, 10, seed);
+        let inst = random_instance(&g, 3, 2, seed + 50);
+        cases.push((g, inst));
+    }
+    for seed in 0..2u64 {
+        let g = generators::random_geometric(16, 0.4, seed);
+        let inst = random_instance(&g, 2, 3, seed);
+        cases.push((g, inst));
+    }
+    let g = generators::grid(3, 5, 6, 1);
+    let inst = random_instance(&g, 2, 2, 9);
+    cases.push((g, inst));
+    cases
+}
+
+#[test]
+fn inequality_chain_holds_everywhere() {
+    for (i, (g, inst)) in suite().into_iter().enumerate() {
+        let opt = exact::solve(&g, &inst).weight as f64;
+        let central = moat::grow(&g, &inst);
+        let dual = central.dual.to_f64();
+        assert!(dual <= opt + 1e-9, "case {i}: dual {dual} > OPT {opt}");
+
+        let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+        let wd = det.forest.weight(&g) as f64;
+        assert!(inst.is_feasible(&g, &det.forest), "case {i}: det infeasible");
+        assert!(opt <= wd + 1e-9 && wd <= 2.0 * opt + 1e-9, "case {i}: det ratio");
+
+        let growth = solve_growth(&g, &inst, &GrowthConfig::default()).unwrap();
+        let wg = growth.forest.weight(&g) as f64;
+        assert!(inst.is_feasible(&g, &growth.forest), "case {i}: growth infeasible");
+        assert!(wg <= 2.5 * opt + 1e-9, "case {i}: growth ratio {wg}/{opt}");
+
+        let rand = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
+        let wr = rand.forest.weight(&g) as f64;
+        assert!(inst.is_feasible(&g, &rand.forest), "case {i}: rand infeasible");
+        let log_bound = 3.0 * (g.n() as f64).ln();
+        assert!(wr <= log_bound * opt, "case {i}: rand ratio {}", wr / opt);
+    }
+}
+
+#[test]
+fn baselines_agree_on_feasibility_and_quality() {
+    for (i, (g, inst)) in suite().into_iter().enumerate() {
+        let collect = solve_collect_at_root(&g, &inst).unwrap();
+        assert!(inst.is_feasible(&g, &collect.forest), "case {i}");
+        // Collect-at-root runs Algorithm 1 centrally: identical output.
+        let central = moat::grow(&g, &inst);
+        assert_eq!(collect.forest, central.forest, "case {i}");
+
+        let khan = solve_khan(&g, &inst, &KhanConfig::default()).unwrap();
+        assert!(inst.is_feasible(&g, &khan.forest), "case {i}");
+    }
+}
+
+#[test]
+fn deterministic_equals_centralized_merge_for_merge() {
+    for (i, (g, inst)) in suite().into_iter().enumerate() {
+        let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+        let central = moat::grow(&g, &inst);
+        let dp: Vec<_> = det.merges.iter().map(|m| (m.v, m.w)).collect();
+        let cp: Vec<_> = central.merges.iter().map(|m| (m.v, m.w)).collect();
+        assert_eq!(dp, cp, "case {i}: merge sequences differ");
+        assert_eq!(
+            det.forest.weight(&g),
+            central.forest.weight(&g),
+            "case {i}: weights differ"
+        );
+    }
+}
+
+#[test]
+fn growth_eps_sweep_shrinks_checkpoints() {
+    let g = generators::path(30, 20);
+    let inst = InstanceBuilder::new(&g)
+        .component(&[NodeId(0), NodeId(29)])
+        .build()
+        .unwrap();
+    let tight = solve_growth(
+        &g,
+        &inst,
+        &GrowthConfig {
+            eps: Dyadic::new(1, 3), // 1/8
+            ..GrowthConfig::default()
+        },
+    )
+    .unwrap();
+    let loose = solve_growth(
+        &g,
+        &inst,
+        &GrowthConfig {
+            eps: Dyadic::from_int(2),
+            ..GrowthConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        loose.growth_phases < tight.growth_phases,
+        "larger ε must mean fewer checkpoints: {} vs {}",
+        loose.growth_phases,
+        tight.growth_phases
+    );
+}
+
+#[test]
+fn ledgers_are_internally_consistent() {
+    let g = generators::gnp_connected(20, 0.2, 8, 3);
+    let inst = random_instance(&g, 3, 2, 3);
+    let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+    assert_eq!(
+        det.rounds.total(),
+        det.rounds.simulated() + det.rounds.charged()
+    );
+    assert!(det.rounds.simulated() > 0, "core stages must be simulated");
+    assert!(det.rounds.messages() > 0);
+    // Phase structure appears in the ledger labels.
+    let n_phases = det
+        .rounds
+        .entries()
+        .iter()
+        .filter(|e| e.label.contains("terminal decomposition"))
+        .count();
+    assert_eq!(n_phases, det.phases);
+}

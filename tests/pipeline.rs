@@ -1,0 +1,80 @@
+//! End-to-end pipeline tests: raw connection requests through the Lemma
+//! 2.3/2.4 transformations into each solver, as a deployment would run it.
+
+use steiner_forest::congest::CongestConfig;
+use steiner_forest::core::transforms;
+use steiner_forest::prelude::*;
+
+#[test]
+fn requests_to_solution_deterministic() {
+    let g = generators::gnp_connected(24, 0.2, 12, 8);
+    let mut cr = ConnectionRequests::new(g.n());
+    cr.request(NodeId(0), NodeId(9));
+    cr.request(NodeId(9), NodeId(17));
+    cr.request(NodeId(3), NodeId(21));
+    let congest = CongestConfig::for_graph(&g);
+
+    let (inst, l1) = transforms::cr_to_ic(&g, &cr, &congest).unwrap();
+    assert_eq!(inst, cr.to_components(&g), "distributed transform must match reference");
+
+    let (minimal, l2) = transforms::minimalize(&g, &inst, &congest).unwrap();
+    assert!(minimal.is_minimal());
+
+    let out = solve_deterministic(&g, &minimal, &DetConfig::default()).unwrap();
+    assert!(minimal.is_feasible(&g, &out.forest));
+    // The original requests are satisfied too.
+    let comps = g.components_of(out.forest.edges());
+    assert_eq!(comps[0], comps[9]);
+    assert_eq!(comps[9], comps[17]);
+    assert_eq!(comps[3], comps[21]);
+
+    let total = l1.total() + l2.total() + out.rounds.total();
+    assert!(total > 0);
+}
+
+#[test]
+fn requests_to_solution_randomized() {
+    let g = generators::random_geometric(30, 0.3, 2);
+    let mut cr = ConnectionRequests::new(g.n());
+    cr.request(NodeId(1), NodeId(25));
+    cr.request(NodeId(8), NodeId(14));
+    let congest = CongestConfig::for_graph(&g);
+    let (inst, _) = transforms::cr_to_ic(&g, &cr, &congest).unwrap();
+    let out = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
+    let comps = g.components_of(out.forest.edges());
+    assert_eq!(comps[1], comps[25]);
+    assert_eq!(comps[8], comps[14]);
+}
+
+#[test]
+fn symmetric_and_transitive_requests_collapse() {
+    // Requests forming a chain and a duplicate must yield one component.
+    let g = generators::path(12, 2);
+    let mut cr = ConnectionRequests::new(g.n());
+    cr.request(NodeId(0), NodeId(4));
+    cr.request(NodeId(4), NodeId(0));
+    cr.request(NodeId(4), NodeId(8));
+    cr.request(NodeId(8), NodeId(11));
+    let congest = CongestConfig::for_graph(&g);
+    let (inst, _) = transforms::cr_to_ic(&g, &cr, &congest).unwrap();
+    assert_eq!(inst.k(), 1);
+    let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+    // The solution must span 0..11 along the path: weight = 11 edges * 2.
+    assert_eq!(out.forest.weight(&g), 22);
+}
+
+#[test]
+fn truncated_randomized_on_high_s_graph() {
+    // A long weighted path has s = n-1 >> sqrt(n): the truncated code path
+    // (second stage over the F-reduced instance) must engage and stay
+    // feasible.
+    let g = generators::path(36, 3);
+    let inst = InstanceBuilder::new(&g)
+        .component(&[NodeId(2), NodeId(33)])
+        .component(&[NodeId(10), NodeId(20)])
+        .build()
+        .unwrap();
+    let out = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
+    assert!(out.truncated, "s > sqrt(n) must trigger truncation");
+    assert!(inst.is_feasible(&g, &out.forest));
+}

@@ -1,0 +1,129 @@
+//! Property-based tests (proptest) over randomly generated instances:
+//! the invariants every component of the system must uphold regardless of
+//! topology, weights, or component layout.
+
+use proptest::prelude::*;
+
+use steiner_forest::graph::dyadic::Dyadic;
+use steiner_forest::prelude::*;
+use steiner_forest::steiner::{exact, moat, random_instance};
+
+/// Strategy: a connected random graph plus a feasible instance spec.
+fn case() -> impl Strategy<Value = (u64, usize, f64, usize, usize)> {
+    (
+        0u64..1000,        // seed
+        8usize..18,        // n
+        0.15f64..0.5,      // p
+        1usize..4,         // k
+        2usize..4,         // component size
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn moat_growing_invariants((seed, n, p, k, cs) in case()) {
+        prop_assume!(k * cs <= n);
+        let g = generators::gnp_connected(n, p, 12, seed);
+        let inst = random_instance(&g, k, cs, seed);
+        let run = moat::grow(&g, &inst);
+        // Feasible forest.
+        prop_assert!(inst.is_feasible(&g, &run.forest));
+        prop_assert!(run.forest.is_forest(&g));
+        // Primal-dual certificate: W(F) < 2·dual (Theorem 4.1 proof).
+        let w = run.forest.weight(&g) as f64;
+        prop_assert!(w <= 2.0 * run.dual.to_f64() + 1e-9);
+        // Radii are non-negative and bounded by WD/2 (Lemma F.1 argument).
+        for r in &run.radii {
+            prop_assert!(!r.is_negative());
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized((seed, n, p, k, cs) in case()) {
+        prop_assume!(k * cs <= n);
+        let g = generators::gnp_connected(n, p, 12, seed);
+        let inst = random_instance(&g, k, cs, seed);
+        let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+        let central = moat::grow(&g, &inst);
+        // Lemma 4.13: identical merge sequence. Exact weight equality holds
+        // only under the paper's unique-path-weight assumption (Section 2);
+        // with integer weights, equal-weight shortest paths may be realized
+        // differently by the two implementations, so weights get a small
+        // tie slack while the merge log must match exactly.
+        let dp: Vec<_> = out.merges.iter().map(|m| (m.v, m.w)).collect();
+        let cp: Vec<_> = central.merges.iter().map(|m| (m.v, m.w)).collect();
+        prop_assert_eq!(dp, cp);
+        let (dw, cw) = (out.forest.weight(&g) as f64, central.forest.weight(&g) as f64);
+        prop_assert!(
+            (dw - cw).abs() <= 0.15 * cw + 2.0,
+            "weights diverge beyond tie slack: {} vs {}", dw, cw
+        );
+        prop_assert!(inst.is_feasible(&g, &out.forest));
+    }
+
+    #[test]
+    fn exact_is_a_true_lower_bound((seed, n, p, k, cs) in case()) {
+        prop_assume!(k * cs <= n && k * cs <= 8);
+        let g = generators::gnp_connected(n, p, 10, seed);
+        let inst = random_instance(&g, k, cs, seed);
+        let opt = exact::solve(&g, &inst);
+        prop_assert!(inst.is_feasible(&g, &opt.forest));
+        let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+        prop_assert!(opt.weight <= det.forest.weight(&g));
+        let rand = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
+        prop_assert!(opt.weight <= rand.forest.weight(&g));
+    }
+
+    #[test]
+    fn pruning_is_minimal((seed, n, p, k, cs) in case()) {
+        prop_assume!(k * cs <= n);
+        let g = generators::gnp_connected(n, p, 12, seed);
+        let inst = random_instance(&g, k, cs, seed);
+        let run = moat::grow(&g, &inst);
+        // Removing any single edge from the pruned forest breaks it.
+        let edges = run.forest.edges().to_vec();
+        for (i, _) in edges.iter().enumerate() {
+            let mut rest = edges.clone();
+            rest.remove(i);
+            let smaller: ForestSolution = rest.into_iter().collect();
+            prop_assert!(
+                !inst.is_feasible(&g, &smaller),
+                "edge {i} was removable: output not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn dyadic_field_axioms(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000, e1 in 0u32..20, e2 in 0u32..20) {
+        let x = Dyadic::new(a as i128, e1);
+        let y = Dyadic::new(b as i128, e2);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) - y, x);
+        prop_assert_eq!(x.half() + x.half(), x);
+        prop_assert_eq!(x.half().double(), x);
+        prop_assert_eq!(x - y, -(y - x));
+        // Ordering is total and compatible with addition.
+        if x < y {
+            prop_assert!(x + Dyadic::ONE.half() <= y + Dyadic::ONE.half());
+        }
+    }
+
+    #[test]
+    fn embedding_dominates_metric(seed in 0u64..200, n in 8usize..16) {
+        let g = generators::gnp_connected(n, 0.3, 10, seed);
+        let emb = steiner_forest::embed::Embedding::build(
+            &g,
+            &steiner_forest::embed::EmbeddingConfig::new(seed),
+        );
+        let ap = steiner_forest::graph::dijkstra::all_pairs(&g);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                prop_assert!(
+                    emb.tree_distance(NodeId::from(u), NodeId::from(v)) >= ap[u][v]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Medium-scale smoke tests: the full algorithms on the largest instances
+//! the debug-build test suite can afford, checking invariants rather than
+//! exact numbers.
+
+use steiner_forest::baselines::khan::{solve_khan, KhanConfig};
+use steiner_forest::core::det::{solve_growth, GrowthConfig};
+use steiner_forest::prelude::*;
+use steiner_forest::steiner::{moat, random_instance};
+
+#[test]
+fn deterministic_on_eighty_nodes() {
+    let g = generators::gnp_connected(80, 0.06, 16, 17);
+    let inst = random_instance(&g, 6, 3, 17);
+    let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+    assert!(inst.is_feasible(&g, &out.forest));
+    assert!(out.forest.is_forest(&g));
+    assert!(out.phases <= 2 * inst.k());
+    // Merge-for-merge equality with the centralized run still holds.
+    let central = moat::grow(&g, &inst);
+    let dp: Vec<_> = out.merges.iter().map(|m| (m.v, m.w)).collect();
+    let cp: Vec<_> = central.merges.iter().map(|m| (m.v, m.w)).collect();
+    assert_eq!(dp, cp);
+}
+
+#[test]
+fn randomized_on_sixty_nodes_both_regimes() {
+    let g = generators::gnp_connected(60, 0.08, 12, 23);
+    let inst = random_instance(&g, 5, 2, 23);
+    for force in [Some(false), Some(true)] {
+        let out = solve_randomized(
+            &g,
+            &inst,
+            &RandConfig {
+                seed: 23,
+                repetitions: 2,
+                force_truncation: force,
+                ..RandConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            inst.is_feasible(&g, &out.forest),
+            "truncation={force:?} infeasible"
+        );
+    }
+}
+
+#[test]
+fn growth_on_long_caterpillar() {
+    let g = generators::caterpillar(20, 2, 6, 31);
+    let inst = random_instance(&g, 5, 3, 31);
+    let out = solve_growth(&g, &inst, &GrowthConfig::default()).unwrap();
+    assert!(inst.is_feasible(&g, &out.forest));
+    // Lemma F.1: checkpoints are logarithmic in WD, far below merge count.
+    assert!(
+        out.growth_phases <= 64,
+        "too many checkpoints: {}",
+        out.growth_phases
+    );
+}
+
+#[test]
+fn khan_baseline_scales_and_stays_feasible() {
+    let g = generators::gnp_connected(50, 0.1, 10, 37);
+    let inst = random_instance(&g, 4, 2, 37);
+    let out = solve_khan(
+        &g,
+        &inst,
+        &KhanConfig {
+            seed: 37,
+            repetitions: 1,
+        },
+    )
+    .unwrap();
+    assert!(inst.is_feasible(&g, &out.forest));
+}
+
+#[test]
+fn dense_graph_dense_terminals() {
+    // Stress the candidate machinery: a complete graph where every node is
+    // a terminal of one of two components.
+    let g = generators::complete(24, 9, 5);
+    let left: Vec<NodeId> = (0..12).map(NodeId).collect();
+    let right: Vec<NodeId> = (12..24).map(NodeId).collect();
+    let inst = InstanceBuilder::new(&g)
+        .component(&left)
+        .component(&right)
+        .build()
+        .unwrap();
+    let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+    assert!(inst.is_feasible(&g, &out.forest));
+    // A feasible forest on 24 terminals in 2 components needs ≥ 22 edges.
+    assert!(out.forest.len() >= 22);
+    assert!(out.forest.is_forest(&g));
+}
+
+#[test]
+fn many_tiny_components() {
+    // k large relative to n: phases bound (Lemma 4.4) and the O(ks + t)
+    // ledger structure must survive.
+    let g = generators::grid(6, 8, 5, 41);
+    let inst = random_instance(&g, 12, 2, 41);
+    let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+    assert!(inst.is_feasible(&g, &out.forest));
+    assert!(out.phases <= 24);
+}
