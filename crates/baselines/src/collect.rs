@@ -27,7 +27,7 @@ pub struct CollectOutput {
 pub fn solve_collect_at_root(
     g: &WeightedGraph,
     inst: &Instance,
-    ) -> Result<CollectOutput, SimError> {
+) -> Result<CollectOutput, SimError> {
     let congest = CongestConfig::for_graph(g);
     let mut ledger = RoundLedger::new();
     let bfs = build_bfs_tree(g, NodeId(0), &congest)?;
@@ -43,9 +43,7 @@ pub fn solve_collect_at_root(
                 if v < nb {
                     let w = g.weight(e);
                     items.push(FloodItem {
-                        payload: ((v.0 as u128) << 96)
-                            | ((nb.0 as u128) << 64)
-                            | w as u128,
+                        payload: ((v.0 as u128) << 96) | ((nb.0 as u128) << 64) | w as u128,
                         bits: (2 * idb + weight_bits(w)) as u16,
                     });
                 }
@@ -94,8 +92,14 @@ mod tests {
         let dense = generators::complete(24, 9, 1);
         let inst_s = random_instance(&sparse, 2, 2, 1);
         let inst_d = random_instance(&dense, 2, 2, 1);
-        let r_sparse = solve_collect_at_root(&sparse, &inst_s).unwrap().rounds.total();
-        let r_dense = solve_collect_at_root(&dense, &inst_d).unwrap().rounds.total();
+        let r_sparse = solve_collect_at_root(&sparse, &inst_s)
+            .unwrap()
+            .rounds
+            .total();
+        let r_dense = solve_collect_at_root(&dense, &inst_d)
+            .unwrap()
+            .rounds
+            .total();
         assert!(
             r_dense > 3 * r_sparse,
             "dense {r_dense} vs sparse {r_sparse}: gather must scale with m"

@@ -83,7 +83,7 @@ pub fn solve_khan(
             union = union.union(&sel.forest);
         }
         let w = union.weight(g);
-        if best.as_ref().map_or(true, |(_, bw)| w < *bw) {
+        if best.as_ref().is_none_or(|(_, bw)| w < *bw) {
             best = Some((union, w));
         }
     }

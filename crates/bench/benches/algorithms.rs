@@ -5,9 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dsf_baselines::khan::{solve_khan, KhanConfig};
 use dsf_baselines::solve_collect_at_root;
+use dsf_congest::CongestConfig;
 use dsf_core::det::{solve_deterministic, solve_growth, DetConfig, GrowthConfig};
 use dsf_core::randomized::{solve_randomized, RandConfig};
-use dsf_congest::CongestConfig;
 use dsf_embed::{distributed::le_lists_distributed, random_ranks, Embedding, EmbeddingConfig};
 use dsf_graph::generators;
 use dsf_lower_bounds::measure_ic_gadget;
@@ -26,7 +26,9 @@ fn bench_centralized(c: &mut Criterion) {
     }
     let g = generators::gnp_connected(14, 0.3, 10, 1);
     let inst = random_instance(&g, 3, 2, 2);
-    group.bench_function("exact_oracle_n14_k3", |b| b.iter(|| exact::solve(&g, &inst)));
+    group.bench_function("exact_oracle_n14_k3", |b| {
+        b.iter(|| exact::solve(&g, &inst))
+    });
     group.finish();
 }
 

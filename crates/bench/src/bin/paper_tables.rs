@@ -11,7 +11,11 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let ids: Vec<&str> = if ids.is_empty() {
         dsf_bench::ALL_EXPERIMENTS.to_vec()
     } else {

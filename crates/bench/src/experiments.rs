@@ -3,15 +3,17 @@
 
 use dsf_baselines::khan::{solve_khan, KhanConfig};
 use dsf_baselines::solve_collect_at_root;
+use dsf_congest::CongestConfig;
 use dsf_core::det::{solve_deterministic, solve_growth, DetConfig, GrowthConfig};
 use dsf_core::randomized::{solve_randomized, RandConfig};
 use dsf_core::transforms;
-use dsf_congest::CongestConfig;
 use dsf_embed::{le_lists, random_ranks, Embedding, EmbeddingConfig};
 use dsf_graph::dyadic::Dyadic;
 use dsf_graph::{dijkstra, generators, metrics, mst, NodeId};
 use dsf_lower_bounds::{measure_cr_gadget, measure_ic_gadget};
-use dsf_steiner::{exact, moat, moat_rounded, random_instance, ConnectionRequests, InstanceBuilder};
+use dsf_steiner::{
+    exact, moat, moat_rounded, random_instance, ConnectionRequests, InstanceBuilder,
+};
 
 use crate::table::{f3, Table};
 
@@ -28,12 +30,18 @@ pub fn e1_centralized_two_approx(quick: bool) -> Vec<Table> {
     let seeds: u64 = if quick { 4 } else { 20 };
     let mut t = Table::new(
         "E1 — Algorithm 1 (centralized moat growing): ratio to OPT and dual certificate",
-        &["graph", "n", "k", "ratio min", "ratio mean", "ratio max", "dual/OPT mean", "2·dual ≥ W(F) always"],
+        &[
+            "graph",
+            "n",
+            "k",
+            "ratio min",
+            "ratio mean",
+            "ratio max",
+            "dual/OPT mean",
+            "2·dual ≥ W(F) always",
+        ],
     );
-    for (label, mk) in [
-        ("G(n,p)", true),
-        ("geometric", false),
-    ] {
+    for (label, mk) in [("G(n,p)", true), ("geometric", false)] {
         let mut ratios = Vec::new();
         let mut dual_fracs = Vec::new();
         let mut certified = true;
@@ -77,7 +85,13 @@ pub fn e2_rounded_epsilon(quick: bool) -> Vec<Table> {
     let seeds: u64 = if quick { 4 } else { 16 };
     let mut t = Table::new(
         "E2 — Algorithm 2 (rounded radii): ratio and growth phases vs ε",
-        &["ε", "ratio mean", "ratio max", "bound 2+ε", "growth phases mean"],
+        &[
+            "ε",
+            "ratio mean",
+            "ratio max",
+            "bound 2+ε",
+            "growth phases mean",
+        ],
     );
     for (eps, label) in [
         (Dyadic::new(1, 3), "1/8"),
@@ -118,7 +132,16 @@ pub fn e2_rounded_epsilon(quick: bool) -> Vec<Table> {
 pub fn e3_deterministic_rounds(quick: bool) -> Vec<Table> {
     let mut k_table = Table::new(
         "E3a — deterministic distributed: k-sweep on a 4×8 grid (s ≈ const)",
-        &["k", "t", "s", "D", "phases", "rounds", "rounds/k", "matches Alg 1"],
+        &[
+            "k",
+            "t",
+            "s",
+            "D",
+            "phases",
+            "rounds",
+            "rounds/k",
+            "matches Alg 1",
+        ],
     );
     let grid = generators::grid(4, 8, 6, 9);
     let p = metrics::parameters(&grid);
@@ -159,10 +182,7 @@ pub fn e3_deterministic_rounds(quick: bool) -> Vec<Table> {
         let quarter = n / 4;
         let inst = InstanceBuilder::new(&g)
             .component(&[NodeId(0), NodeId(quarter as u32)])
-            .component(&[
-                NodeId((n - 1 - quarter) as u32),
-                NodeId((n - 1) as u32),
-            ])
+            .component(&[NodeId((n - 1 - quarter) as u32), NodeId((n - 1) as u32)])
             .build()
             .unwrap();
         let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
@@ -264,7 +284,13 @@ pub fn e5_randomized_quality(quick: bool) -> Vec<Table> {
 
     let mut s = Table::new(
         "E5b — tree embedding stretch (expected O(log n), [14])",
-        &["n", "mean stretch", "p95 stretch", "max stretch", "dominates d_G"],
+        &[
+            "n",
+            "mean stretch",
+            "p95 stretch",
+            "max stretch",
+            "dominates d_G",
+        ],
     );
     let n = if quick { 24 } else { 40 };
     let g = generators::random_geometric(n, 0.3, 7);
@@ -299,7 +325,14 @@ pub fn e5_randomized_quality(quick: bool) -> Vec<Table> {
 pub fn e6_path_congestion(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E6 — per-node distinct path destinations and LE-list sizes",
-        &["n", "max paths/node", "mean paths/node", "max |LE list|", "mean |LE list|", "log2 n"],
+        &[
+            "n",
+            "max paths/node",
+            "mean paths/node",
+            "max |LE list|",
+            "mean |LE list|",
+            "log2 n",
+        ],
     );
     let sizes: &[usize] = if quick { &[32] } else { &[32, 64, 96] };
     for &n in sizes {
@@ -419,7 +452,14 @@ pub fn e8_transformations(quick: bool) -> Vec<Table> {
 pub fn e9_cr_gadget(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E9 — DSF-CR gadget (Figure 1 left): bits over the 4-edge cut",
-        &["universe", "instance", "decoded", "correct", "cut bits", "bits/universe"],
+        &[
+            "universe",
+            "instance",
+            "decoded",
+            "correct",
+            "cut bits",
+            "bits/universe",
+        ],
     );
     let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 48] };
     for &u in sizes {
@@ -428,7 +468,12 @@ pub fn e9_cr_gadget(quick: bool) -> Vec<Table> {
             t.row(vec![
                 u.to_string(),
                 if intersect { "A∩B≠∅" } else { "disjoint" }.into(),
-                if exp.decoded_disjoint { "disjoint" } else { "A∩B≠∅" }.into(),
+                if exp.decoded_disjoint {
+                    "disjoint"
+                } else {
+                    "A∩B≠∅"
+                }
+                .into(),
                 if exp.correct() { "yes" } else { "NO" }.into(),
                 exp.cut_bits.to_string(),
                 f3(exp.cut_bits as f64 / u as f64),
@@ -493,11 +538,24 @@ pub fn e11_headline(quick: bool) -> Vec<Table> {
         },
     )
     .unwrap();
-    let khan = solve_khan(&g, &inst, &KhanConfig { seed: 13, repetitions: 3 }).unwrap();
+    let khan = solve_khan(
+        &g,
+        &inst,
+        &KhanConfig {
+            seed: 13,
+            repetitions: 3,
+        },
+    )
+    .unwrap();
     let collect = solve_collect_at_root(&g, &inst).unwrap();
     let label = format!("G({n},0.12), k=4");
     for (alg, guar, rounds, weight) in [
-        ("deterministic (Thm 4.17)", "2", det.rounds.total(), det.forest.weight(&g)),
+        (
+            "deterministic (Thm 4.17)",
+            "2",
+            det.rounds.total(),
+            det.forest.weight(&g),
+        ),
         (
             "growth phases (Cor 4.20, ε=1/2)",
             "2.5",
@@ -510,8 +568,18 @@ pub fn e11_headline(quick: bool) -> Vec<Table> {
             rand_out.rounds.total(),
             rand_out.forest.weight(&g),
         ),
-        ("Khan et al. [14]", "O(log n)", khan.rounds.total(), khan.forest.weight(&g)),
-        ("collect-at-root", "2", collect.rounds.total(), collect.forest.weight(&g)),
+        (
+            "Khan et al. [14]",
+            "O(log n)",
+            khan.rounds.total(),
+            khan.forest.weight(&g),
+        ),
+        (
+            "collect-at-root",
+            "2",
+            collect.rounds.total(),
+            collect.forest.weight(&g),
+        ),
     ] {
         t.row(vec![
             label.clone(),
@@ -534,7 +602,15 @@ pub fn e11_headline(quick: bool) -> Vec<Table> {
 pub fn e12_growth_phases(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E12 — growth-phase variant vs Theorem 4.17 driver",
-        &["k", "t", "det rounds", "det phases", "growth rounds", "growth merge-phases", "growth checkpoints"],
+        &[
+            "k",
+            "t",
+            "det rounds",
+            "det phases",
+            "growth rounds",
+            "growth merge-phases",
+            "growth checkpoints",
+        ],
     );
     let ks: &[usize] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
     for &k in ks {

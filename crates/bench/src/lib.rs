@@ -38,6 +38,5 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Table> {
 
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
-    "e13",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];

@@ -269,11 +269,11 @@ pub fn run<P: Protocol>(
     let mut in_flight = 0usize;
 
     let commit = |from: NodeId,
-                      out: Outbox<P::Msg>,
-                      round: u64,
-                      pending: &mut Vec<Vec<(NodeId, P::Msg)>>,
-                      in_flight: &mut usize,
-                      metrics: &mut RunMetrics|
+                  out: Outbox<P::Msg>,
+                  round: u64,
+                  pending: &mut Vec<Vec<(NodeId, P::Msg)>>,
+                  in_flight: &mut usize,
+                  metrics: &mut RunMetrics|
      -> Result<(), SimError> {
         if let Some(mut e) = out.error {
             if let SimError::DuplicateSend { round: r, .. } = &mut e {
@@ -345,7 +345,14 @@ pub fn run<P: Protocol>(
             let inbox = std::mem::take(&mut inboxes[v]);
             let mut out = Outbox::new(ctx.id);
             nodes[v].round(&ctx, &inbox, &mut out);
-            commit(ctx.id, out, round, &mut pending, &mut in_flight, &mut metrics)?;
+            commit(
+                ctx.id,
+                out,
+                round,
+                &mut pending,
+                &mut in_flight,
+                &mut metrics,
+            )?;
         }
         metrics.rounds = round;
     }
@@ -547,8 +554,14 @@ mod tests {
     fn one_round_message_latency() {
         let g = generators::path(2, 1);
         let nodes = vec![
-            Echo { sent_round: None, got_round: None },
-            Echo { sent_round: None, got_round: None },
+            Echo {
+                sent_round: None,
+                got_round: None,
+            },
+            Echo {
+                sent_round: None,
+                got_round: None,
+            },
         ];
         let res = run(&g, nodes, &CongestConfig::for_graph(&g)).unwrap();
         assert_eq!(res.states[0].sent_round, Some(0));

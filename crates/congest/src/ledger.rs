@@ -112,7 +112,11 @@ impl RoundLedger {
 
 impl fmt::Display for RoundLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<44} {:>9} {:>9} {:>10}", "stage", "sim", "charged", "msgs")?;
+        writeln!(
+            f,
+            "{:<44} {:>9} {:>9} {:>10}",
+            "stage", "sim", "charged", "msgs"
+        )?;
         for e in &self.entries {
             writeln!(
                 f,

@@ -61,6 +61,8 @@ mod executor;
 mod ledger;
 mod message;
 
-pub use executor::{run, CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SimError};
+pub use executor::{
+    run, CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SimError,
+};
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use message::{id_bits, weight_bits, Message};

@@ -74,7 +74,6 @@ impl MoatBook {
     }
 }
 
-
 impl MoatBook {
     /// Applies a merge with Algorithm 2 semantics (line 33): the merged
     /// moat stays active until the next checkpoint. Returns whether an

@@ -8,7 +8,7 @@ use dsf_graph::{EdgeId, GraphBuilder, NodeId, WeightedGraph};
 use dsf_steiner::{ForestSolution, Instance, InstanceBuilder};
 
 use crate::primitives::{
-    build_bfs_tree, flood_items, filtered_upcast, FloodItem, UpcastCandidate, UpcastMode,
+    build_bfs_tree, filtered_upcast, flood_items, FloodItem, UpcastCandidate, UpcastMode,
     UpcastRootVerdict,
 };
 
@@ -70,10 +70,7 @@ pub struct DetOutput {
 /// Packs an accepted candidate for flooding.
 fn pack_candidate(c: &UpcastCandidate) -> FloodItem {
     let payload = ((c.a as u128) << 64) | ((c.b as u128) << 40) | (c.edge.0 as u128);
-    FloodItem {
-        payload,
-        bits: 64,
-    }
+    FloodItem { payload, bits: 64 }
 }
 
 /// Packs the phase growth `μ^{(j)}` (a non-negative dyadic).
@@ -186,7 +183,10 @@ pub fn solve_deterministic(
             })
             .collect();
         let vor = decompose(g, &status, &congest)?;
-        ledger.record(format!("phase {phase}: terminal decomposition"), &vor.metrics);
+        ledger.record(
+            format!("phase {phase}: terminal decomposition"),
+            &vor.metrics,
+        );
         ledger.charge(
             format!("phase {phase}: BF termination detection O(D)"),
             bfs.height() as u64,
@@ -247,7 +247,10 @@ pub fn solve_deterministic(
             UpcastMode::PhaseDetect(Box::new(verdict)),
             &congest,
         )?;
-        ledger.record(format!("phase {phase}: filtered merge collection"), &up.metrics);
+        ledger.record(
+            format!("phase {phase}: filtered merge collection"),
+            &up.metrics,
+        );
         ledger.charge(
             format!("phase {phase}: collection termination O(D)"),
             bfs.height() as u64,
@@ -377,8 +380,7 @@ mod tests {
         );
         // Same merge pair multiset, in the same global order.
         let dist_pairs: Vec<(NodeId, NodeId)> = out.merges.iter().map(|m| (m.v, m.w)).collect();
-        let cent_pairs: Vec<(NodeId, NodeId)> =
-            central.merges.iter().map(|m| (m.v, m.w)).collect();
+        let cent_pairs: Vec<(NodeId, NodeId)> = central.merges.iter().map(|m| (m.v, m.w)).collect();
         assert_eq!(dist_pairs, cent_pairs, "{tag}: merge order differs");
         out
     }
@@ -469,7 +471,9 @@ mod tests {
             .collect();
         assert!(labels.iter().any(|l| l.contains("BFS")));
         assert!(labels.iter().any(|l| l.contains("terminal decomposition")));
-        assert!(labels.iter().any(|l| l.contains("filtered merge collection")));
+        assert!(labels
+            .iter()
+            .any(|l| l.contains("filtered merge collection")));
         assert!(out.rounds.total() > 0);
         assert!(out.rounds.simulated() > 0);
     }

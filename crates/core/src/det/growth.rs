@@ -31,7 +31,7 @@ use dsf_steiner::moat_rounded::next_mu_hat;
 use dsf_steiner::{ForestSolution, Instance};
 
 use crate::primitives::{
-    build_bfs_tree, flood_items, filtered_upcast, FloodItem, UpcastCandidate, UpcastMode,
+    build_bfs_tree, filtered_upcast, flood_items, FloodItem, UpcastCandidate, UpcastMode,
     UpcastRootVerdict,
 };
 
@@ -361,7 +361,10 @@ pub fn solve_growth(
             max_hops = max_hops.max(hops);
         }
     }
-    ledger.charge("final selection: token marking O(s + D)", max_hops + bfs.height() as u64);
+    ledger.charge(
+        "final selection: token marking O(s + D)",
+        max_hops + bfs.height() as u64,
+    );
 
     Ok(GrowthOutput {
         forest: ForestSolution::from_edges(edges),
@@ -397,7 +400,10 @@ mod tests {
             let cent_pairs: Vec<(NodeId, NodeId)> =
                 central.merges.iter().map(|m| (m.v, m.w)).collect();
             assert_eq!(dist_pairs, cent_pairs, "seed {seed}: merge order differs");
-            let (dw, cw) = (out.forest.weight(&g) as f64, central.forest.weight(&g) as f64);
+            let (dw, cw) = (
+                out.forest.weight(&g) as f64,
+                central.forest.weight(&g) as f64,
+            );
             assert!(
                 (dw - cw).abs() <= 0.25 * cw + 2.0,
                 "seed {seed}: weights diverge beyond tie slack: {dw} vs {cw}"
@@ -438,7 +444,12 @@ mod tests {
         // Same schedule, same instance: phase counts within ±1 (the
         // distributed run may skip the trailing checkpoint).
         let diff = (out.growth_phases as i64 - central.growth_phases as i64).abs();
-        assert!(diff <= 1, "{} vs {}", out.growth_phases, central.growth_phases);
+        assert!(
+            diff <= 1,
+            "{} vs {}",
+            out.growth_phases,
+            central.growth_phases
+        );
     }
 
     #[test]

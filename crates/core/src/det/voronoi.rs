@@ -10,7 +10,9 @@
 //! coalesced announcement per edge per round, which yields the `O(s)`
 //! stabilization of distributed Bellman–Ford.
 
-use dsf_congest::{id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics, SimError};
+use dsf_congest::{
+    id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics, SimError,
+};
 use dsf_graph::dyadic::Dyadic;
 use dsf_graph::{NodeId, WeightedGraph};
 
@@ -92,9 +94,7 @@ impl Protocol for VorNode {
                 let cand = msg.offset + Dyadic::from_weight(ctx.weight(edge));
                 let better = match &self.best {
                     None => true,
-                    Some((off, owner, parent)) => {
-                        (cand, msg.owner, from) < (*off, *owner, *parent)
-                    }
+                    Some((off, owner, parent)) => (cand, msg.owner, from) < (*off, *owner, *parent),
                 };
                 if better {
                     self.best = Some((cand, msg.owner, from));

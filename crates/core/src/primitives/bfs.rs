@@ -5,7 +5,9 @@
 //! identical to [`dsf_graph::bfs::tree`], which the tests verify). Takes
 //! `D + O(1)` rounds.
 
-use dsf_congest::{id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics, SimError};
+use dsf_congest::{
+    id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics, SimError,
+};
 use dsf_graph::{NodeId, WeightedGraph};
 
 /// The wave message: the sender's depth.

@@ -155,7 +155,7 @@ mod tests {
         // 40 items at one end of a 20-path: rounds ≈ D + #items, not D·#items.
         let g = generators::path(20, 1);
         let mut initial = vec![Vec::new(); 20];
-        initial[0] = (0..40).map(|i| item(i)).collect();
+        initial[0] = (0..40).map(item).collect();
         let out = flood_items(&g, initial, &CongestConfig::for_graph(&g)).unwrap();
         assert_eq!(out.items.len(), 40);
         assert!(

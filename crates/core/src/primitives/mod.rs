@@ -6,6 +6,4 @@ mod upcast;
 
 pub use bfs::{build_bfs_tree, BfsOutcome};
 pub use flood::{flood_items, FloodItem, FloodOutcome};
-pub use upcast::{
-    filtered_upcast, UpcastCandidate, UpcastMode, UpcastOutcome, UpcastRootVerdict,
-};
+pub use upcast::{filtered_upcast, UpcastCandidate, UpcastMode, UpcastOutcome, UpcastRootVerdict};

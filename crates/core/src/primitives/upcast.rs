@@ -180,8 +180,7 @@ impl UpcastNode<'_> {
             // Consume as much of the globally-ascending stream as possible.
             // The verdict runs *before* the union so that `StopBefore` can
             // reject a candidate without distorting the cycle filter.
-            loop {
-                let Some(bound) = self.emit_bound() else { break };
+            while let Some(bound) = self.emit_bound() {
                 let Some(&std::cmp::Reverse(top)) = self.pending.peek() else {
                     break;
                 };
@@ -227,10 +226,7 @@ impl UpcastNode<'_> {
                 out.send(self.parent.unwrap(), UpMsg::Cand(c));
             } else if !self.sent_done
                 && self.pending.is_empty()
-                && self
-                    .child_done
-                    .iter()
-                    .all(|&d| d)
+                && self.child_done.iter().all(|&d| d)
             {
                 self.sent_done = true;
                 out.send(self.parent.unwrap(), UpMsg::Done);
@@ -251,7 +247,9 @@ impl Protocol for UpcastNode<'_> {
         for &(from, msg) in inbox {
             match msg {
                 UpMsg::Cand(c) => {
-                    let i = self.child_index(from).expect("candidates come from children");
+                    let i = self
+                        .child_index(from)
+                        .expect("candidates come from children");
                     self.watermark[i] = Some(c);
                     self.pending.push(std::cmp::Reverse(c));
                 }

@@ -158,7 +158,7 @@ pub fn solve_randomized(
             w <= tree_opt,
             "stage-1 weight {w} exceeds tree optimum {tree_opt}"
         );
-        if best.as_ref().map_or(true, |(_, bw, _, _)| w < *bw) {
+        if best.as_ref().is_none_or(|(_, bw, _, _)| w < *bw) {
             best = Some((sel.forest, w, tree_opt, seed));
         }
     }

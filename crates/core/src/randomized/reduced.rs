@@ -260,8 +260,7 @@ mod tests {
                 crate::randomized::selection::run_selection_stage(&g, &emb, &minimal, &bfs, &cfg)
                     .unwrap();
             let mut ledger = RoundLedger::new();
-            let second =
-                solve_reduced(&g, &minimal, &sel.forest, &emb, &cfg, &mut ledger).unwrap();
+            let second = solve_reduced(&g, &minimal, &sel.forest, &emb, &cfg, &mut ledger).unwrap();
             let union = sel.forest.union(&second);
             assert!(inst.is_feasible(&g, &union), "seed {seed}");
             assert!(ledger.charged() > 0);

@@ -4,7 +4,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use dsf_congest::{id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RoundLedger, SimError};
+use dsf_congest::{
+    id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RoundLedger, SimError,
+};
 use dsf_embed::Embedding;
 use dsf_graph::{EdgeId, NodeId, WeightedGraph};
 use dsf_steiner::{ForestSolution, Instance};
@@ -195,7 +197,10 @@ pub fn run_selection_stage(
             })
             .collect();
         let res = run(g, nodes, cfg)?;
-        ledger.record(format!("phase {i}: request routing (Step 3c)"), &res.metrics);
+        ledger.record(
+            format!("phase {i}: request routing (Step 3c)"),
+            &res.metrics,
+        );
         ledger.charge(
             format!("phase {i}: routing termination O(D)"),
             bfs.height() as u64,
@@ -303,10 +308,11 @@ mod tests {
                 },
             );
             let comps = g.components_of(out.forest.edges());
-            let s_comps: HashSet<NodeId> =
-                emb.s_set.iter().map(|&v| comps[v.idx()]).collect();
+            let s_comps: HashSet<NodeId> = emb.s_set.iter().map(|&v| comps[v.idx()]).collect();
             for comp in inst.components() {
-                let all_same = comp.windows(2).all(|w| comps[w[0].idx()] == comps[w[1].idx()]);
+                let all_same = comp
+                    .windows(2)
+                    .all(|w| comps[w[0].idx()] == comps[w[1].idx()]);
                 let touches_s = comp.iter().all(|t| s_comps.contains(&comps[t.idx()]));
                 assert!(all_same || touches_s, "seed {seed}: component stranded");
             }

@@ -13,13 +13,17 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use dsf_congest::{id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RoundLedger, SimError};
+use dsf_congest::{
+    id_bits, run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RoundLedger, SimError,
+};
 use dsf_graph::dyadic::Dyadic;
 use dsf_graph::union_find::UnionFind;
 use dsf_graph::{EdgeId, NodeId, WeightedGraph};
 use dsf_steiner::{ConnectionRequests, Instance, InstanceBuilder};
 
-use crate::primitives::{build_bfs_tree, flood_items, filtered_upcast, FloodItem, UpcastCandidate, UpcastMode};
+use crate::primitives::{
+    build_bfs_tree, filtered_upcast, flood_items, FloodItem, UpcastCandidate, UpcastMode,
+};
 
 /// Lemma 2.3: transforms a DSF-CR input into an equivalent DSF-IC instance.
 ///
@@ -243,7 +247,10 @@ pub fn multi_holder_labels(
         })
         .collect();
     let res = run(g, nodes, cfg)?;
-    ledger.record("label multiplicity convergecast (≤ 2 per label)", &res.metrics);
+    ledger.record(
+        "label multiplicity convergecast (≤ 2 per label)",
+        &res.metrics,
+    );
     ledger.charge("convergecast termination O(D)", bfs.height() as u64);
 
     let root_state = &res.states[bfs.root.idx()];
@@ -339,7 +346,7 @@ mod tests {
         }
         let cfg = CongestConfig::for_graph(&g);
         let (_, ledger) = cr_to_ic(&g, &cr, &cfg).unwrap();
-        let bound = (3 * (n as u64 - 1) + 3 * 20 + 20) as u64; // ~3D + 3t slack
+        let bound = 3 * (n as u64 - 1) + 3 * 20 + 20; // ~3D + 3t slack
         assert!(ledger.total() <= bound, "{} > {bound}", ledger.total());
     }
 

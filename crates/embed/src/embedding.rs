@@ -331,8 +331,10 @@ mod tests {
             let emb = Embedding::build(&g, &EmbeddingConfig::new(seed));
             for u in 0..g.n() {
                 for v in (u + 1)..g.n() {
-                    ratios
-                        .push(emb.tree_distance(NodeId::from(u), NodeId::from(v)) as f64 / ap[u][v] as f64);
+                    ratios.push(
+                        emb.tree_distance(NodeId::from(u), NodeId::from(v)) as f64
+                            / ap[u][v] as f64,
+                    );
                 }
             }
         }

@@ -109,7 +109,7 @@ pub fn le_lists(g: &WeightedGraph, ranks: &[u32]) -> Vec<LeList> {
             let mut entries = Vec::new();
             for u in order {
                 let r = ranks[u.idx()];
-                if best_rank.map_or(true, |b| r > b) {
+                if best_rank.is_none_or(|b| r > b) {
                     best_rank = Some(r);
                     let next_hop = (u != v).then(|| {
                         // First hop: walk the parent chain from u back to v.

@@ -53,7 +53,12 @@ impl BfsTree {
 
     /// Height of the tree (max depth).
     pub fn height(&self) -> u32 {
-        self.depth.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -75,7 +80,11 @@ pub fn tree(g: &WeightedGraph, root: NodeId) -> BfsTree {
             .expect("bfs layer invariant");
         parent[v.idx()] = Some(p);
     }
-    BfsTree { root, parent, depth }
+    BfsTree {
+        root,
+        parent,
+        depth,
+    }
 }
 
 /// Eccentricity of `v`: max hop distance to any node.

@@ -92,7 +92,7 @@ pub fn multi_source(g: &WeightedGraph, sources: &[NodeId]) -> ShortestPaths {
             let nh = h + 1;
             let better = (nd, nh) < (dist[u.idx()], hops[u.idx()])
                 || ((nd, nh) == (dist[u.idx()], hops[u.idx()])
-                    && parent[u.idx()].map_or(true, |(p, _)| v < p));
+                    && parent[u.idx()].is_none_or(|(p, _)| v < p));
             if better {
                 dist[u.idx()] = nd;
                 hops[u.idx()] = nh;

@@ -15,7 +15,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
 use crate::Weight;
 
@@ -29,10 +29,16 @@ pub struct Dyadic {
 
 impl Dyadic {
     /// The value zero.
-    pub const ZERO: Dyadic = Dyadic { mantissa: 0, exp: 0 };
+    pub const ZERO: Dyadic = Dyadic {
+        mantissa: 0,
+        exp: 0,
+    };
 
     /// The value one.
-    pub const ONE: Dyadic = Dyadic { mantissa: 1, exp: 0 };
+    pub const ONE: Dyadic = Dyadic {
+        mantissa: 1,
+        exp: 0,
+    };
 
     /// Creates `mantissa / 2^exp`, normalizing.
     pub fn new(mantissa: i128, exp: u32) -> Self {
@@ -41,7 +47,10 @@ impl Dyadic {
 
     /// Converts an integer (e.g. an edge weight or distance).
     pub fn from_int(v: i128) -> Self {
-        Dyadic { mantissa: v, exp: 0 }
+        Dyadic {
+            mantissa: v,
+            exp: 0,
+        }
     }
 
     /// Converts an edge weight.
@@ -98,21 +107,6 @@ impl Dyadic {
                 .checked_mul(k)
                 .expect("dyadic mantissa overflow"),
             exp: self.exp,
-        }
-        .normalized()
-    }
-
-    /// Exact product of two dyadics (used by the rounded-radii schedule).
-    pub fn mul(self, other: Self) -> Self {
-        Dyadic {
-            mantissa: self
-                .mantissa
-                .checked_mul(other.mantissa)
-                .expect("dyadic mantissa overflow"),
-            exp: self
-                .exp
-                .checked_add(other.exp)
-                .expect("dyadic exponent overflow"),
         }
         .normalized()
     }
@@ -195,7 +189,8 @@ impl Dyadic {
     fn aligned(self, other: Self) -> (i128, i128, u32) {
         fn shift(m: i128, by: u32) -> i128 {
             assert!(by < 127, "dyadic exponent overflow");
-            m.checked_mul(1i128 << by).expect("dyadic mantissa overflow")
+            m.checked_mul(1i128 << by)
+                .expect("dyadic mantissa overflow")
         }
         let exp = self.exp.max(other.exp);
         let ma = shift(self.mantissa, exp - self.exp);
@@ -250,6 +245,24 @@ impl Sub for Dyadic {
 impl SubAssign for Dyadic {
     fn sub_assign(&mut self, rhs: Self) {
         *self = *self - rhs;
+    }
+}
+
+/// Exact product of two dyadics (used by the rounded-radii schedule).
+impl Mul for Dyadic {
+    type Output = Dyadic;
+    fn mul(self, rhs: Self) -> Self {
+        Dyadic {
+            mantissa: self
+                .mantissa
+                .checked_mul(rhs.mantissa)
+                .expect("dyadic mantissa overflow"),
+            exp: self
+                .exp
+                .checked_add(rhs.exp)
+                .expect("dyadic exponent overflow"),
+        }
+        .normalized()
     }
 }
 
@@ -339,11 +352,8 @@ mod tests {
     #[test]
     fn multiplication() {
         assert_eq!(Dyadic::new(3, 1).mul_int(4), Dyadic::from_int(6));
-        assert_eq!(
-            Dyadic::new(3, 1).mul(Dyadic::new(5, 2)),
-            Dyadic::new(15, 3)
-        );
-        assert_eq!(Dyadic::ZERO.mul(Dyadic::new(7, 3)), Dyadic::ZERO);
+        assert_eq!(Dyadic::new(3, 1) * Dyadic::new(5, 2), Dyadic::new(15, 3));
+        assert_eq!(Dyadic::ZERO * Dyadic::new(7, 3), Dyadic::ZERO);
     }
 
     #[test]
@@ -353,7 +363,10 @@ mod tests {
         // Already coarse enough: unchanged.
         assert_eq!(Dyadic::new(3, 1).round_down_to_exp(4), Dyadic::new(3, 1));
         // Negative values round towards -inf.
-        assert_eq!(Dyadic::new(-13, 3).round_down_to_exp(1), Dyadic::new(-7, 2).round_down_to_exp(1));
+        assert_eq!(
+            Dyadic::new(-13, 3).round_down_to_exp(1),
+            Dyadic::new(-7, 2).round_down_to_exp(1)
+        );
         assert!(Dyadic::new(-13, 3).round_down_to_exp(1) <= Dyadic::new(-13, 3));
     }
 

@@ -83,7 +83,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> WeightedGraph {
                     continue;
                 }
                 let d = dist(i, j);
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
             }
@@ -176,8 +176,12 @@ pub fn caterpillar(spine: usize, legs: usize, max_w: Weight, seed: u64) -> Weigh
     for i in 0..spine {
         for l in 0..legs {
             let leaf = spine + i * legs + l;
-            b.add_edge(NodeId::from(i), NodeId::from(leaf), random_weight(&mut r, max_w))
-                .unwrap();
+            b.add_edge(
+                NodeId::from(i),
+                NodeId::from(leaf),
+                random_weight(&mut r, max_w),
+            )
+            .unwrap();
         }
     }
     b.build().expect("caterpillar is connected")
@@ -190,8 +194,12 @@ pub fn complete(n: usize, max_w: Weight, seed: u64) -> WeightedGraph {
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            b.add_edge(NodeId::from(i), NodeId::from(j), random_weight(&mut r, max_w))
-                .unwrap();
+            b.add_edge(
+                NodeId::from(i),
+                NodeId::from(j),
+                random_weight(&mut r, max_w),
+            )
+            .unwrap();
         }
     }
     b.build().expect("complete graph is connected")

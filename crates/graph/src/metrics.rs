@@ -29,7 +29,10 @@ pub struct GraphParameters {
 
 /// Unweighted diameter `D` (max BFS eccentricity). `O(n·m)`.
 pub fn unweighted_diameter(g: &WeightedGraph) -> u32 {
-    g.nodes().map(|v| bfs::eccentricity(g, v)).max().unwrap_or(0)
+    g.nodes()
+        .map(|v| bfs::eccentricity(g, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Weighted diameter `WD`. `O(n·m·log n)`.
@@ -91,9 +94,8 @@ pub fn parameters(g: &WeightedGraph) -> GraphParameters {
 /// `s` is sandwiched between `D` and `n - 1`; convenient check used in tests
 /// and by generator post-conditions.
 pub fn parameters_consistent(p: &GraphParameters) -> bool {
-    u32::try_from(p.n.saturating_sub(1)).map_or(false, |nm1| {
-        p.diameter <= p.shortest_path_diameter && p.shortest_path_diameter <= nm1
-    })
+    u32::try_from(p.n.saturating_sub(1))
+        .is_ok_and(|nm1| p.diameter <= p.shortest_path_diameter && p.shortest_path_diameter <= nm1)
 }
 
 #[cfg(test)]

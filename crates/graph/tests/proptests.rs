@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use dsf_graph::{dijkstra, dreyfus_wagner, generators, metrics, mst, NodeId, Weight, INF};
+use dsf_graph::union_find::UnionFind;
+use dsf_graph::{dijkstra, dreyfus_wagner, generators, metrics, mst, EdgeId, NodeId, Weight, INF};
+use std::collections::BTreeSet;
 
 fn floyd_warshall(g: &dsf_graph::WeightedGraph) -> Vec<Vec<Weight>> {
     let n = g.n();
@@ -75,7 +77,7 @@ proptest! {
         let p = metrics::parameters(&g);
         // D ≤ s ≤ n-1 and D ≤ WD (weights ≥ 1).
         prop_assert!(p.diameter <= p.shortest_path_diameter);
-        prop_assert!(p.shortest_path_diameter as usize <= n - 1);
+        prop_assert!((p.shortest_path_diameter as usize) < n);
         prop_assert!(u64::from(p.diameter) <= p.weighted_diameter);
         prop_assert!(metrics::parameters_consistent(&p));
     }
@@ -107,5 +109,84 @@ proptest! {
         let g = generators::gnp_connected(n, 0.2, w, seed);
         prop_assert!(g.edges().iter().all(|e| (1..=w).contains(&e.w)));
         prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn union_find_unions_are_idempotent(seed in 0u64..500, n in 2usize..40, ops in 1usize..60) {
+        // Replaying the same union sequence must be a no-op: every union
+        // returns false the second time and the partition is unchanged.
+        let pairs: Vec<(usize, usize)> = (0..ops)
+            .map(|i| {
+                let h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64);
+                ((h % n as u64) as usize, ((h >> 17) % n as u64) as usize)
+            })
+            .collect();
+        let mut uf = UnionFind::new(n);
+        let mut merges = 0usize;
+        for &(a, b) in &pairs {
+            if uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.num_sets(), n - merges);
+        let partition_before: Vec<usize> = (0..n).map(|x| uf.find_const(x)).collect();
+        for &(a, b) in &pairs {
+            prop_assert!(!uf.union(a, b), "replayed union({a}, {b}) merged again");
+        }
+        let partition_after: Vec<usize> = (0..n).map(|x| uf.find_const(x)).collect();
+        prop_assert_eq!(partition_before, partition_after);
+        prop_assert_eq!(uf.num_sets(), n - merges);
+    }
+
+    #[test]
+    fn union_find_find_is_stable(seed in 0u64..500, n in 2usize..40, ops in 0usize..60) {
+        // `find` is a projection: find(find(x)) == find(x), repeated calls
+        // agree, and the compressing `find` matches `find_const`.
+        let mut uf = UnionFind::new(n);
+        for i in 0..ops {
+            let h = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(i as u64);
+            uf.union((h % n as u64) as usize, ((h >> 23) % n as u64) as usize);
+        }
+        for x in 0..n {
+            let r = uf.find(x);
+            prop_assert_eq!(uf.find(r), r, "representative is not a fixed point");
+            prop_assert_eq!(uf.find(x), r, "repeated find changed answer");
+            prop_assert_eq!(uf.find_const(x), r, "find_const disagrees with find");
+            prop_assert!(uf.same(x, r));
+        }
+        // Set sizes partition the universe.
+        let reps: BTreeSet<usize> = (0..n).map(|x| uf.find(x)).collect();
+        let total: usize = reps.iter().map(|&r| uf.set_size(r)).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn mst_weight_at_most_collect_at_root_tree(seed in 0u64..300, n in 2usize..25, p in 0.15f64..0.6) {
+        // The collect-at-root baseline routes everything over the
+        // shortest-path tree of a BFS root; the MST can only be lighter
+        // (both are spanning trees, Kruskal is optimal among them).
+        let g = generators::gnp_connected(n, p, 15, seed);
+        let m = mst::kruskal(&g);
+        prop_assert_eq!(m.edges.len(), n - 1);
+        let sp = dijkstra::shortest_paths(&g, NodeId(0));
+        let spt_edges: BTreeSet<EdgeId> = g
+            .nodes()
+            .flat_map(|v| sp.path_edges(v))
+            .collect();
+        let spt_weight: Weight = spt_edges.iter().map(|&e| g.weight(e)).sum();
+        prop_assert_eq!(spt_edges.len(), n - 1, "SPT is not a spanning tree");
+        prop_assert!(
+            m.weight <= spt_weight,
+            "MST weight {} exceeds shortest-path-tree baseline {}",
+            m.weight,
+            spt_weight
+        );
+        // And the MST really spans: replaying its edges connects everything.
+        let mut uf = UnionFind::new(n);
+        for &e in &m.edges {
+            let ed = g.edge(e);
+            uf.union(ed.u.idx(), ed.v.idx());
+        }
+        prop_assert_eq!(uf.num_sets(), 1);
     }
 }

@@ -2,9 +2,9 @@
 //! the Figure 1 gadgets with the Alice/Bob cut metered, decode the Set
 //! Disjointness answer from the output, and report the bits that crossed.
 
+use dsf_congest::CongestConfig;
 use dsf_core::det::{solve_deterministic, DetConfig};
 use dsf_core::transforms;
-use dsf_congest::CongestConfig;
 
 use crate::gadgets::{cr_gadget, ic_gadget, SetDisjointness};
 
@@ -40,15 +40,14 @@ pub fn measure_cr_gadget(universe: usize, intersect: bool, seed: u64) -> CutExpe
     let gadget = cr_gadget(&sd, 2);
     let mut congest = CongestConfig::for_graph(&gadget.graph);
     congest.metered_cut = gadget.cut.iter().copied().collect();
-    let (inst, transform_ledger) =
-        transforms::cr_to_ic(&gadget.graph, &gadget.requests, &congest)
-            .expect("transform respects the model");
+    let (inst, transform_ledger) = transforms::cr_to_ic(&gadget.graph, &gadget.requests, &congest)
+        .expect("transform respects the model");
     let det_cfg = DetConfig {
         metered_cut: gadget.cut.clone(),
         ..DetConfig::default()
     };
-    let out = solve_deterministic(&gadget.graph, &inst, &det_cfg)
-        .expect("solver respects the model");
+    let out =
+        solve_deterministic(&gadget.graph, &inst, &det_cfg).expect("solver respects the model");
     CutExperiment {
         universe,
         truth_disjoint: sd.disjoint(),
@@ -76,8 +75,8 @@ pub fn measure_ic_gadget(universe: usize, intersect: bool, seed: u64) -> CutExpe
         metered_cut: gadget.cut.clone(),
         ..DetConfig::default()
     };
-    let out = solve_deterministic(&gadget.graph, &minimal, &det_cfg)
-        .expect("solver respects the model");
+    let out =
+        solve_deterministic(&gadget.graph, &minimal, &det_cfg).expect("solver respects the model");
     CutExperiment {
         universe,
         truth_disjoint: sd.disjoint(),

@@ -187,12 +187,7 @@ mod tests {
             assert!(yes.disjoint());
             let no = SetDisjointness::sample_hard(40, true, seed);
             assert!(!no.disjoint());
-            let common = no
-                .a
-                .iter()
-                .zip(&no.b)
-                .filter(|(&x, &y)| x && y)
-                .count();
+            let common = no.a.iter().zip(&no.b).filter(|(&x, &y)| x && y).count();
             assert_eq!(common, 1);
         }
     }
@@ -225,7 +220,10 @@ mod tests {
         let inst = gadget.requests.to_components(&gadget.graph);
         let run = dsf_steiner::moat::grow(&gadget.graph, &inst);
         assert!(inst.is_feasible(&gadget.graph, &run.forest));
-        assert!(!gadget.decode(&run.forest), "NO instance avoided heavy edges");
+        assert!(
+            !gadget.decode(&run.forest),
+            "NO instance avoided heavy edges"
+        );
     }
 
     #[test]

@@ -389,7 +389,8 @@ mod tests {
         // inactive moat on its way — an active-inactive merge (μ'' event).
         let mut b = dsf_graph::GraphBuilder::new(5);
         for (i, w) in [4u64, 2, 4, 4].iter().enumerate() {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), *w)
+                .unwrap();
         }
         let g = b.build().unwrap();
         let inst = InstanceBuilder::new(&g)

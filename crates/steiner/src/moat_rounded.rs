@@ -50,7 +50,7 @@ const MU_HAT_EXP: u32 = 16;
 /// identical schedule.
 pub fn next_mu_hat(mu_hat: Dyadic, eps: Dyadic) -> Dyadic {
     let factor = Dyadic::ONE + eps.half();
-    let next = mu_hat.mul(factor).round_down_to_exp(MU_HAT_EXP);
+    let next = (mu_hat * factor).round_down_to_exp(MU_HAT_EXP);
     if next > mu_hat {
         next
     } else {
@@ -81,9 +81,7 @@ pub fn grow_rounded(g: &WeightedGraph, inst: &Instance, eps: Dyadic) -> RoundedR
         }
         let meeting = gr.next_meeting();
         // Does the next meeting happen before the checkpoint?
-        let meets_first = meeting
-            .as_ref()
-            .map_or(false, |m| elapsed + m.mu < mu_hat);
+        let meets_first = meeting.as_ref().is_some_and(|m| elapsed + m.mu < mu_hat);
         if meets_first {
             let m = meeting.expect("checked above");
             index += 1;
@@ -182,11 +180,7 @@ mod tests {
             .unwrap();
         let run = grow_rounded(&g, &inst, eps_half());
         // log_{1.25}(975) ≈ 31; quantization may add a handful.
-        assert!(
-            run.growth_phases <= 40,
-            "phases = {}",
-            run.growth_phases
-        );
+        assert!(run.growth_phases <= 40, "phases = {}", run.growth_phases);
     }
 
     #[test]
@@ -212,7 +206,7 @@ mod tests {
             let next = next_mu_hat(mu_hat, eps);
             assert!(next > mu_hat);
             // Never exceeds the exact geometric schedule.
-            assert!(next <= mu_hat.mul(Dyadic::ONE + eps.half()) + Dyadic::new(1, MU_HAT_EXP));
+            assert!(next <= mu_hat * (Dyadic::ONE + eps.half()) + Dyadic::new(1, MU_HAT_EXP));
             mu_hat = next;
         }
         // After 200 steps of factor <= 1.0625 the exponent stays tame.

@@ -108,9 +108,9 @@ impl ForestSolution {
                 None => continue, // tree without terminals: nothing kept
             };
             let mut counts: Vec<HashMap<u32, u32>> = vec![HashMap::new(); g.n()];
-            // Stack entries: (node, parent, incoming edge, expanded?).
-            let mut stack: Vec<(NodeId, Option<(NodeId, EdgeId)>, bool)> =
-                vec![(root, None, false)];
+            // Stack entries: (node, parent + incoming edge, expanded?).
+            type DfsFrame = (NodeId, Option<(NodeId, EdgeId)>, bool);
+            let mut stack: Vec<DfsFrame> = vec![(root, None, false)];
             while let Some((v, par, expanded)) = stack.pop() {
                 if expanded {
                     // All children merged into counts[v]; add own label.
@@ -119,9 +119,7 @@ impl ForestSolution {
                     }
                     if let Some((p, e)) = par {
                         // Edge needed iff some label is split by it.
-                        let needed = counts[v.idx()]
-                            .iter()
-                            .any(|(l, &c)| c > 0 && c < totals[l]);
+                        let needed = counts[v.idx()].iter().any(|(l, &c)| c > 0 && c < totals[l]);
                         if needed {
                             kept.push(e);
                         }
@@ -143,7 +141,7 @@ impl ForestSolution {
                     visited[v.idx()] = true;
                     stack.push((v, par, true));
                     for &(u, e) in &adj[v.idx()] {
-                        if par.map_or(true, |(p, _)| p != u) && !visited[u.idx()] {
+                        if par.is_none_or(|(p, _)| p != u) && !visited[u.idx()] {
                             stack.push((u, Some((v, e)), false));
                         }
                     }

@@ -23,7 +23,11 @@ fn main() {
                 "{:>8} | {:<10} | {:<10} | {:<7} | {:>6}  ({:.1} bits/element)",
                 universe,
                 if intersect { "A∩B≠∅" } else { "disjoint" },
-                if exp.decoded_disjoint { "disjoint" } else { "A∩B≠∅" },
+                if exp.decoded_disjoint {
+                    "disjoint"
+                } else {
+                    "A∩B≠∅"
+                },
                 exp.correct(),
                 exp.cut_bits,
                 exp.cut_bits as f64 / universe as f64,

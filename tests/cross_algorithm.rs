@@ -39,17 +39,29 @@ fn inequality_chain_holds_everywhere() {
 
         let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
         let wd = det.forest.weight(&g) as f64;
-        assert!(inst.is_feasible(&g, &det.forest), "case {i}: det infeasible");
-        assert!(opt <= wd + 1e-9 && wd <= 2.0 * opt + 1e-9, "case {i}: det ratio");
+        assert!(
+            inst.is_feasible(&g, &det.forest),
+            "case {i}: det infeasible"
+        );
+        assert!(
+            opt <= wd + 1e-9 && wd <= 2.0 * opt + 1e-9,
+            "case {i}: det ratio"
+        );
 
         let growth = solve_growth(&g, &inst, &GrowthConfig::default()).unwrap();
         let wg = growth.forest.weight(&g) as f64;
-        assert!(inst.is_feasible(&g, &growth.forest), "case {i}: growth infeasible");
+        assert!(
+            inst.is_feasible(&g, &growth.forest),
+            "case {i}: growth infeasible"
+        );
         assert!(wg <= 2.5 * opt + 1e-9, "case {i}: growth ratio {wg}/{opt}");
 
         let rand = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
         let wr = rand.forest.weight(&g) as f64;
-        assert!(inst.is_feasible(&g, &rand.forest), "case {i}: rand infeasible");
+        assert!(
+            inst.is_feasible(&g, &rand.forest),
+            "case {i}: rand infeasible"
+        );
         let log_bound = 3.0 * (g.n() as f64).ln();
         assert!(wr <= log_bound * opt, "case {i}: rand ratio {}", wr / opt);
     }

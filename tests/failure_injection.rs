@@ -98,8 +98,8 @@ fn max_rounds_guard_reports_instead_of_hanging() {
     // Absurdly low cap: some stage must trip it.
     let mut congest = CongestConfig::for_graph(&g);
     congest.max_rounds = 1;
-    let err = steiner_forest::core::primitives::build_bfs_tree(&g, NodeId(0), &congest)
-        .unwrap_err();
+    let err =
+        steiner_forest::core::primitives::build_bfs_tree(&g, NodeId(0), &congest).unwrap_err();
     assert!(matches!(err, SimError::MaxRoundsExceeded { .. }));
     // And the full solver still works with the default guard.
     assert!(solve_deterministic(&g, &inst, &DetConfig::default()).is_ok());

@@ -15,7 +15,11 @@ fn requests_to_solution_deterministic() {
     let congest = CongestConfig::for_graph(&g);
 
     let (inst, l1) = transforms::cr_to_ic(&g, &cr, &congest).unwrap();
-    assert_eq!(inst, cr.to_components(&g), "distributed transform must match reference");
+    assert_eq!(
+        inst,
+        cr.to_components(&g),
+        "distributed transform must match reference"
+    );
 
     let (minimal, l2) = transforms::minimalize(&g, &inst, &congest).unwrap();
     assert!(minimal.is_minimal());

@@ -11,11 +11,11 @@ use steiner_forest::steiner::{exact, moat, random_instance};
 /// Strategy: a connected random graph plus a feasible instance spec.
 fn case() -> impl Strategy<Value = (u64, usize, f64, usize, usize)> {
     (
-        0u64..1000,        // seed
-        8usize..18,        // n
-        0.15f64..0.5,      // p
-        1usize..4,         // k
-        2usize..4,         // component size
+        0u64..1000,   // seed
+        8usize..18,   // n
+        0.15f64..0.5, // p
+        1usize..4,    // k
+        2usize..4,    // component size
     )
 }
 

@@ -1,0 +1,120 @@
+//! Workspace smoke test: every prelude export resolves and both paper
+//! algorithms produce feasible forests on a small fixed graph.
+//!
+//! This is the first test a fresh checkout should run — it exercises the
+//! whole dependency DAG (graph → congest → steiner → embed → core) through
+//! the umbrella crate's public surface only.
+
+use steiner_forest::prelude::*;
+
+/// A fixed 9-node graph: a 3×3 grid with unit-ish weights, two input
+/// components in opposite corners. Small enough to eyeball, rich enough to
+/// force at least one non-trivial merge per component.
+fn fixed_graph() -> WeightedGraph {
+    let mut b = GraphBuilder::new(9);
+    // Grid rows.
+    let rows = [
+        (0u32, 1u32, 2u64),
+        (1, 2, 3),
+        (3, 4, 1),
+        (4, 5, 2),
+        (6, 7, 2),
+        (7, 8, 1),
+    ];
+    // Grid columns.
+    let cols = [
+        (0u32, 3u32, 1u64),
+        (3, 6, 2),
+        (1, 4, 2),
+        (4, 7, 3),
+        (2, 5, 1),
+        (5, 8, 2),
+    ];
+    for (u, v, w) in rows.into_iter().chain(cols) {
+        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn fixed_instance(g: &WeightedGraph) -> Instance {
+    InstanceBuilder::new(g)
+        .component(&[NodeId(0), NodeId(8)])
+        .component(&[NodeId(2), NodeId(6)])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn prelude_exports_resolve() {
+    // Touch every prelude export so a broken re-export fails this test
+    // (and not just an unlucky downstream user).
+    let g: WeightedGraph = fixed_graph();
+    let e: EdgeId = EdgeId(0);
+    let w: Weight = g.weight(e);
+    assert_eq!(w, g.edges()[0].w);
+    let params = metrics::parameters(&g);
+    assert!(metrics::parameters_consistent(&params));
+    let gen_g = generators::gnp_connected(12, 0.3, 5, 7);
+    assert!(gen_g.is_connected());
+
+    let inst: Instance = fixed_instance(&g);
+    assert_eq!(inst.k(), 2);
+    let label: Option<ComponentId> = inst.label(NodeId(0));
+    assert!(label.is_some());
+
+    let mut cr = ConnectionRequests::new(g.n());
+    cr.request(NodeId(0), NodeId(8));
+    assert_eq!(cr.terminals(), vec![NodeId(0), NodeId(8)]);
+
+    let cfg = CongestConfig::for_graph(&g);
+    assert!(cfg.bandwidth_bits > 0);
+    let ledger = RoundLedger::new();
+    assert_eq!(ledger.total(), 0);
+
+    let empty: ForestSolution = std::iter::empty::<EdgeId>().collect();
+    assert!(!inst.is_feasible(&g, &empty));
+}
+
+#[test]
+fn solve_deterministic_is_feasible_on_fixed_graph() {
+    let g = fixed_graph();
+    let inst = fixed_instance(&g);
+    let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+    assert!(
+        inst.is_feasible(&g, &out.forest),
+        "deterministic forest infeasible"
+    );
+    assert!(out.forest.is_forest(&g));
+    assert!(out.forest.weight(&g) > 0);
+    assert!(out.rounds.total() > 0);
+}
+
+#[test]
+fn solve_randomized_is_feasible_on_fixed_graph() {
+    let g = fixed_graph();
+    let inst = fixed_instance(&g);
+    let out = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
+    assert!(
+        inst.is_feasible(&g, &out.forest),
+        "randomized forest infeasible"
+    );
+    assert!(out.forest.weight(&g) > 0);
+    assert!(out.rounds.total() > 0);
+}
+
+#[test]
+fn both_solvers_agree_on_feasibility_across_seeds() {
+    let g = fixed_graph();
+    let inst = fixed_instance(&g);
+    for seed in 0..5u64 {
+        let cfg = RandConfig {
+            seed,
+            ..RandConfig::default()
+        };
+        let out = solve_randomized(&g, &inst, &cfg).unwrap();
+        assert!(
+            inst.is_feasible(&g, &out.forest),
+            "randomized solver infeasible at seed {seed}"
+        );
+    }
+}

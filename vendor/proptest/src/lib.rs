@@ -1,0 +1,319 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the proptest surface the workspace's property
+//! tests use: the [`proptest!`] macro with a `#![proptest_config(..)]`
+//! attribute, range and tuple [`Strategy`]s, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are sampled from a deterministic per-test RNG (seeded from the
+//!   test's name), so failures reproduce exactly on any platform;
+//! * there is **no shrinking** — a failing case reports the sampled inputs
+//!   via the assertion message instead of a minimized counterexample;
+//! * rejected cases (`prop_assume!`) are resampled, with a hard cap to
+//!   guarantee termination.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Per-block configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — resample, don't count the case.
+    Reject,
+    /// `prop_assert!`-style failure — abort the whole test.
+    Fail(String),
+}
+
+/// A source of sampled values. Upstream proptest separates strategies from
+/// value trees (for shrinking); without shrinking a strategy is just a
+/// sampling function.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `Just`-style constant strategy, occasionally handy in local tests.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// FNV-1a over the test name: a stable per-test seed.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Driver called by the expansion of [`proptest!`]; runs `config.cases`
+/// accepted cases, resampling rejects up to a hard cap.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let reject_cap = u64::from(config.cases) * 256 + 4096;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_cap,
+                    "proptest '{name}': {rejected} rejects for {accepted} accepted cases — \
+                     prop_assume! is filtering out nearly everything"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {accepted}): {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_proptest(&config, stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), prop_rng);)+
+                    let case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_eq!({}, {}) failed: {:?} != {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}: {:?} != {:?} at {}:{}",
+                format!($($fmt)+),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "prop_assert_ne!({}, {}) failed: both {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}: both {:?} at {}:{}",
+                format!($($fmt)+),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(a in 3u64..9, b in -2i64..=-1i64.wrapping_abs(), f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..2).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_assume((x, y) in (0u32..10, 0u32..10)) {
+            prop_assume!(x != y);
+            prop_assert_ne!(x, y);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut collected = Vec::new();
+        for _ in 0..2 {
+            let mut vals = Vec::new();
+            run_proptest(&ProptestConfig::with_cases(8), "determinism", |rng| {
+                vals.push((0u64..100).sample(rng));
+                Ok(())
+            });
+            collected.push(vals);
+        }
+        assert_eq!(collected[0], collected[1]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small subset of the 0.8-era `rand` API that the reproduction uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`] helpers
+//! `gen_range`, `gen_bool`, and `gen::<f64>()`.
+//!
+//! Determinism is part of the workspace contract ("identical seeds produce
+//! identical graphs on any platform"), so the generator is a fixed
+//! xoshiro256++ seeded through SplitMix64 — stable across platforms and
+//! toolchain versions, unlike the upstream `StdRng` which is explicitly
+//! allowed to change between releases.
+
+pub mod rngs;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        Standard::sample_from::<Self, f64>(self) < p
+    }
+
+    /// Sample a value of `T` from the standard distribution
+    /// (`f64` is uniform in `[0, 1)`).
+    fn gen<T>(&mut self) -> T
+    where
+        T: StandardSample,
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Marker for `Rng::gen` target types (the `Standard` distribution).
+pub trait StandardSample {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Helper namespace mirroring `rand::distributions::Standard`.
+pub struct Standard;
+
+impl Standard {
+    fn sample_from<R: RngCore + ?Sized, T: StandardSample>(rng: &mut R) -> T {
+        T::standard_sample(rng)
+    }
+}
+
+impl StandardSample for f64 {
+    /// 53 mantissa bits of a `u64`, scaled into `[0, 1)`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiply (unbiased enough for
+/// test-scale spans, and — crucially — platform-deterministic).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    // Multiply-shift: floor(x * span / 2^128) without a u256 via split halves.
+    let (xh, xl) = (x >> 64, x & u128::from(u64::MAX));
+    let (sh, sl) = (span >> 64, span & u128::from(u64::MAX));
+    let mid = xh * sl + xl * sh + ((xl * sl) >> 64);
+    xh * sh + (mid >> 64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let off = uniform_below(rng, span) as $wide;
+                (self.start as $wide).wrapping_add(off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u128 + 1;
+                let off = uniform_below(rng, span) as $wide;
+                (start as $wide).wrapping_add(off) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u = f64::standard_sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
