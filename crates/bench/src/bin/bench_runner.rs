@@ -1,0 +1,89 @@
+//! Times the solvers and raw executor micro-benchmarks and emits the
+//! machine-readable perf trajectory (`BENCH_executor.json`).
+//!
+//! ```text
+//! cargo run -p dsf-bench --bin bench_runner --release                # full sizes
+//! cargo run -p dsf-bench --bin bench_runner --release -- --quick    # CI smoke sizes
+//! cargo run -p dsf-bench --bin bench_runner --release -- \
+//!     --quick --check crates/bench/baselines/executor_quick.json    # regression gate
+//! ```
+//!
+//! `--out PATH` overrides the output path. With `--check BASELINE` the
+//! deterministic metrics (n, m, rounds, messages, activations) are
+//! compared against the checked-in baseline and any drift exits non-zero;
+//! wall-clock is report-only. After an intentional change, regenerate the
+//! baseline by copying the fresh output over it.
+
+use std::process::ExitCode;
+
+use dsf_bench::perf::{self, BenchReport};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{flag} requires a path argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let out_path = flag_value("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_executor.json".into());
+    let check_path = flag_value("--check").cloned();
+
+    let report = perf::collect(quick);
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("# bench_runner ({} mode) -> {out_path}\n", report.mode);
+    println!(
+        "{:<44} {:>8} {:>8} {:>9} {:>11} {:>12} {:>12}",
+        "workload", "n", "m", "rounds", "messages", "activations", "mean wall"
+    );
+    for e in &report.entries {
+        println!(
+            "{:<44} {:>8} {:>8} {:>9} {:>11} {:>12} {:>9.3} ms",
+            e.name,
+            e.n,
+            e.m,
+            e.rounds,
+            e.messages,
+            e.activations,
+            e.wall_ns.mean as f64 / 1e6,
+        );
+    }
+
+    let Some(baseline_path) = check_path else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(&baseline_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| BenchReport::parse(&s))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot load baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let drifts = report.diff_deterministic(&baseline);
+    if drifts.is_empty() {
+        println!("\nperf gate: no executor-metric drift vs {baseline_path}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nperf gate FAILED vs {baseline_path}:");
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        eprintln!(
+            "(intentional change? regenerate the baseline: copy {out_path} over {baseline_path})"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -9,6 +9,7 @@
 mod table;
 
 pub mod experiments;
+pub mod perf;
 
 pub use table::Table;
 

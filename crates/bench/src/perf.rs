@@ -1,0 +1,528 @@
+//! The executor perf harness behind `bench_runner`: deterministic
+//! micro-benchmarks of the two execution engines plus end-to-end solver
+//! timings, emitted as machine-readable JSON (`BENCH_executor.json`).
+//!
+//! Every entry carries two kinds of numbers:
+//!
+//! * **deterministic work metrics** — `n`, `m`, `rounds`, `messages`, and
+//!   `activations` (executor `round()` invocations) are identical on every
+//!   machine and every run; CI gates on them (`bench_runner --check`);
+//! * **wall-clock** — min/mean/max nanoseconds over the repetitions;
+//!   machine-dependent, report-only, tracked as a trajectory via the CI
+//!   artifact.
+//!
+//! # JSON schema (`dsf-bench-executor/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "dsf-bench-executor/v1",
+//!   "mode": "quick",
+//!   "entries": [
+//!     {"name": "executor/bfs_wave/path/n=10000/event", "n": 10000,
+//!      "m": 9999, "rounds": 10000, "messages": 19998, "activations": 19998,
+//!      "wall_ns": {"min": 1, "mean": 2, "max": 3}}
+//!   ]
+//! }
+//! ```
+//!
+//! One entry per line; names use only `[a-z0-9_/=.-]`, so no JSON string
+//! escaping is ever needed.
+
+use std::time::Instant;
+
+use dsf_baselines::solve_collect_at_root;
+use dsf_congest::{
+    run_reference, run_with_buffers, CongestConfig, Message, NodeCtx, Outbox, Protocol,
+    RoundLedger, RunBuffers, RunMetrics, SchedStats, SimError,
+};
+use dsf_core::det::{solve_deterministic, DetConfig};
+use dsf_core::randomized::{solve_randomized, RandConfig};
+use dsf_graph::{generators, NodeId, WeightedGraph};
+use dsf_steiner::random_instance;
+
+/// Identifier of the emitted JSON layout.
+pub const SCHEMA: &str = "dsf-bench-executor/v1";
+
+/// Wall-clock statistics over the repetitions of one workload, in
+/// nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallNs {
+    /// Fastest repetition.
+    pub min: u64,
+    /// Mean over repetitions.
+    pub mean: u64,
+    /// Slowest repetition.
+    pub max: u64,
+}
+
+/// One benchmark result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Workload id, e.g. `executor/bfs_wave/path/n=10000/event`.
+    pub name: String,
+    /// Nodes of the workload graph.
+    pub n: usize,
+    /// Edges of the workload graph.
+    pub m: usize,
+    /// Simulated rounds (deterministic).
+    pub rounds: u64,
+    /// Delivered messages (deterministic).
+    pub messages: u64,
+    /// `Protocol::round` invocations (deterministic; 0 where not tracked).
+    pub activations: u64,
+    /// Wall-clock statistics (machine-dependent, report-only).
+    pub wall_ns: WallNs,
+}
+
+/// A full `bench_runner` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// All entries, in a deterministic order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serializes to the `dsf-bench-executor/v1` JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"rounds\": {}, \
+                 \"messages\": {}, \"activations\": {}, \"wall_ns\": \
+                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}}}{comma}\n",
+                e.name,
+                e.n,
+                e.m,
+                e.rounds,
+                e.messages,
+                e.activations,
+                e.wall_ns.min,
+                e.wall_ns.mean,
+                e.wall_ns.max,
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the line-oriented subset of JSON that [`BenchReport::to_json`]
+    /// emits (one entry object per line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line or missing field.
+    pub fn parse(json: &str) -> Result<BenchReport, String> {
+        let mut mode = None;
+        let mut entries = Vec::new();
+        for line in json.lines() {
+            if line.contains("\"schema\"") {
+                let schema =
+                    str_field(line, "schema").ok_or_else(|| "unreadable schema".to_string())?;
+                if schema != SCHEMA {
+                    return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+                }
+            } else if line.contains("\"mode\"") {
+                mode = str_field(line, "mode");
+            } else if line.contains("\"name\"") {
+                let name =
+                    str_field(line, "name").ok_or_else(|| format!("bad entry line: {line}"))?;
+                let get = |k: &str| {
+                    u64_field(line, k).ok_or_else(|| format!("entry {name}: missing {k}"))
+                };
+                entries.push(BenchEntry {
+                    name: name.clone(),
+                    n: get("n")? as usize,
+                    m: get("m")? as usize,
+                    rounds: get("rounds")?,
+                    messages: get("messages")?,
+                    activations: get("activations")?,
+                    wall_ns: WallNs {
+                        min: get("min")?,
+                        mean: get("mean")?,
+                        max: get("max")?,
+                    },
+                });
+            }
+        }
+        Ok(BenchReport {
+            mode: mode.ok_or_else(|| "missing mode".to_string())?,
+            entries,
+        })
+    }
+
+    /// Compares the deterministic metrics against a checked-in baseline.
+    ///
+    /// Returns one human-readable drift description per mismatch (empty =
+    /// gate passes). Wall-clock numbers are intentionally ignored.
+    pub fn diff_deterministic(&self, baseline: &BenchReport) -> Vec<String> {
+        let mut drifts = Vec::new();
+        if self.mode != baseline.mode {
+            drifts.push(format!(
+                "mode {:?} does not match baseline mode {:?}",
+                self.mode, baseline.mode
+            ));
+            return drifts;
+        }
+        for b in &baseline.entries {
+            match self.entries.iter().find(|e| e.name == b.name) {
+                None => drifts.push(format!("{}: entry disappeared", b.name)),
+                Some(e) => {
+                    for (what, now, was) in [
+                        ("n", e.n as u64, b.n as u64),
+                        ("m", e.m as u64, b.m as u64),
+                        ("rounds", e.rounds, b.rounds),
+                        ("messages", e.messages, b.messages),
+                        ("activations", e.activations, b.activations),
+                    ] {
+                        if now != was {
+                            drifts.push(format!("{}: {what} drifted {was} -> {now}", e.name));
+                        }
+                    }
+                }
+            }
+        }
+        for e in &self.entries {
+            if !baseline.entries.iter().any(|b| b.name == e.name) {
+                drifts.push(format!(
+                    "{}: new entry not in baseline (re-generate it)",
+                    e.name
+                ));
+            }
+        }
+        drifts
+    }
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let i = line.find(&pat)? + pat.len();
+    let digits: String = line[i..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The raw-executor micro-workload: a BFS wave from node 0 — the sparse
+/// single-source primitive underlying moat growth, where at any round only
+/// the frontier has work. This is the workload class the active-set
+/// scheduler exists for.
+#[derive(Debug, Clone, Copy)]
+struct Wave {
+    depth: u32,
+}
+
+impl Message for Wave {
+    fn encoded_bits(&self) -> usize {
+        32
+    }
+}
+
+#[derive(Debug)]
+struct WaveNode {
+    joined: bool,
+}
+
+impl Protocol for WaveNode {
+    type Msg = Wave;
+
+    fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Wave>) {
+        if ctx.id == NodeId(0) {
+            self.joined = true;
+            out.send_all(ctx, Wave { depth: 0 });
+        }
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Wave)], out: &mut Outbox<Wave>) {
+        if !self.joined {
+            if let Some(&(_, msg)) = inbox.first() {
+                self.joined = true;
+                out.send_all(
+                    ctx,
+                    Wave {
+                        depth: msg.depth + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        // Idle until a wave message arrives; see the done() contract.
+        true
+    }
+}
+
+struct Timed {
+    metrics: RunMetrics,
+    stats: SchedStats,
+    wall_ns: WallNs,
+}
+
+/// Runs `f` `reps` times, asserting the deterministic outcome never
+/// changes across repetitions.
+fn time_reps(
+    reps: usize,
+    mut f: impl FnMut() -> Result<(RunMetrics, SchedStats), SimError>,
+) -> Timed {
+    let mut wall = Vec::with_capacity(reps);
+    let mut first: Option<(RunMetrics, SchedStats)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f().expect("bench workload must run clean");
+        wall.push(t0.elapsed().as_nanos() as u64);
+        match &first {
+            None => first = Some(out),
+            Some((m, s)) => assert!(
+                *m == out.0 && *s == out.1,
+                "bench workload is not deterministic across repetitions"
+            ),
+        }
+    }
+    let (metrics, stats) = first.expect("at least one repetition");
+    let min = *wall.iter().min().expect("reps > 0");
+    let max = *wall.iter().max().expect("reps > 0");
+    let mean = wall.iter().sum::<u64>() / wall.len() as u64;
+    Timed {
+        metrics,
+        stats,
+        wall_ns: WallNs { min, mean, max },
+    }
+}
+
+fn wave_nodes(g: &WeightedGraph) -> Vec<WaveNode> {
+    g.nodes().map(|_| WaveNode { joined: false }).collect()
+}
+
+/// One executor micro-benchmark: the same wave workload through both
+/// engines, as two entries (`.../event` and `.../reference`).
+fn executor_pair(name: &str, g: &WeightedGraph, reps: usize, entries: &mut Vec<BenchEntry>) {
+    let cfg = CongestConfig::for_graph(g);
+    let mut buffers = RunBuffers::for_graph(g);
+    let event = time_reps(reps, || {
+        run_with_buffers(g, wave_nodes(g), &cfg, &mut buffers).map(|r| (r.metrics, r.stats))
+    });
+    let reference = time_reps(reps, || {
+        run_reference(g, wave_nodes(g), &cfg).map(|r| (r.metrics, r.stats))
+    });
+    assert_eq!(
+        event.metrics, reference.metrics,
+        "{name}: executors disagree"
+    );
+    for (suffix, t) in [("event", event), ("reference", reference)] {
+        entries.push(BenchEntry {
+            name: format!("{name}/{suffix}"),
+            n: g.n(),
+            m: g.m(),
+            rounds: t.metrics.rounds,
+            messages: t.metrics.messages,
+            activations: t.stats.activations,
+            wall_ns: t.wall_ns,
+        });
+    }
+}
+
+/// One end-to-end solver timing; rounds/messages come from the ledger.
+fn solver_entry(
+    name: &str,
+    g: &WeightedGraph,
+    reps: usize,
+    entries: &mut Vec<BenchEntry>,
+    mut f: impl FnMut() -> Result<RoundLedger, SimError>,
+) {
+    let timed = time_reps(reps, || {
+        f().map(|ledger| {
+            let messages = ledger.entries().iter().map(|e| e.messages).sum();
+            (
+                RunMetrics {
+                    rounds: ledger.total(),
+                    messages,
+                    ..RunMetrics::default()
+                },
+                SchedStats::default(),
+            )
+        })
+    });
+    entries.push(BenchEntry {
+        name: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        rounds: timed.metrics.rounds,
+        messages: timed.metrics.messages,
+        activations: 0,
+        wall_ns: timed.wall_ns,
+    });
+}
+
+/// Runs every workload and assembles the report.
+///
+/// `quick` shrinks sizes and repetition counts for the CI smoke gate; the
+/// checked-in baseline (`crates/bench/baselines/executor_quick.json`) is a
+/// quick-mode report.
+pub fn collect(quick: bool) -> BenchReport {
+    let reps = if quick { 3 } else { 7 };
+    let mut entries = Vec::new();
+
+    // Raw executor micro-benchmarks: one sparse wave per graph family.
+    // The 10k path is the headline workload: the reference engine performs
+    // n invocations per round for ~n rounds (Θ(n²)), the active-set
+    // scheduler ~2 per node total.
+    let path_n = if quick { 10_000 } else { 30_000 };
+    let g = generators::path(path_n, 1);
+    executor_pair(
+        &format!("executor/bfs_wave/path/n={path_n}"),
+        &g,
+        reps,
+        &mut entries,
+    );
+
+    let side = if quick { 100 } else { 160 };
+    let g = generators::grid(side, side, 4, 3);
+    executor_pair(
+        &format!("executor/bfs_wave/grid/n={}", side * side),
+        &g,
+        reps,
+        &mut entries,
+    );
+
+    let (gn, gp) = if quick {
+        (2_000, 0.008)
+    } else {
+        (4_000, 0.005)
+    };
+    let g = generators::gnp_connected(gn, gp, 9, 5);
+    executor_pair(
+        &format!("executor/bfs_wave/gnp/n={gn}"),
+        &g,
+        reps,
+        &mut entries,
+    );
+
+    // End-to-end solver timings (all protocol stages run through the
+    // event-driven engine).
+    let (sn, sp) = if quick { (48, 0.12) } else { (96, 0.08) };
+    let g = generators::gnp_connected(sn, sp, 9, 7);
+    let inst = random_instance(&g, 3, 2, 11);
+    solver_entry(
+        &format!("solver/deterministic/gnp/n={sn}"),
+        &g,
+        reps,
+        &mut entries,
+        || solve_deterministic(&g, &inst, &DetConfig::default()).map(|o| o.rounds),
+    );
+    solver_entry(
+        &format!("solver/randomized/gnp/n={sn}"),
+        &g,
+        reps,
+        &mut entries,
+        || {
+            let cfg = RandConfig {
+                seed: 5,
+                repetitions: 2,
+                ..RandConfig::default()
+            };
+            solve_randomized(&g, &inst, &cfg).map(|o| o.rounds)
+        },
+    );
+    solver_entry(
+        &format!("solver/collect_at_root/gnp/n={sn}"),
+        &g,
+        reps,
+        &mut entries,
+        || solve_collect_at_root(&g, &inst).map(|o| o.rounds),
+    );
+
+    BenchReport {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            mode: "quick".into(),
+            entries: vec![
+                BenchEntry {
+                    name: "executor/x/event".into(),
+                    n: 10,
+                    m: 9,
+                    rounds: 11,
+                    messages: 18,
+                    activations: 20,
+                    wall_ns: WallNs {
+                        min: 1,
+                        mean: 2,
+                        max: 3,
+                    },
+                },
+                BenchEntry {
+                    name: "solver/y".into(),
+                    n: 48,
+                    m: 100,
+                    rounds: 321,
+                    messages: 4567,
+                    activations: 0,
+                    wall_ns: WallNs {
+                        min: 9,
+                        mean: 9,
+                        max: 9,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = sample();
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn diff_flags_deterministic_drift_only() {
+        let base = sample();
+        let mut cur = sample();
+        assert!(cur.diff_deterministic(&base).is_empty());
+        // Wall-clock changes never gate.
+        cur.entries[0].wall_ns.mean = 999_999;
+        assert!(cur.diff_deterministic(&base).is_empty());
+        // Metric drift does.
+        cur.entries[0].rounds += 1;
+        let drifts = cur.diff_deterministic(&base);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].contains("rounds drifted 11 -> 12"));
+        // So do vanished and novel entries.
+        cur.entries.remove(1);
+        cur.entries.push(BenchEntry {
+            name: "solver/z".into(),
+            ..base.entries[1].clone()
+        });
+        let drifts = cur.diff_deterministic(&base);
+        assert!(drifts.iter().any(|d| d.contains("entry disappeared")));
+        assert!(drifts.iter().any(|d| d.contains("not in baseline")));
+    }
+
+    #[test]
+    fn mode_mismatch_is_a_drift() {
+        let base = sample();
+        let mut cur = sample();
+        cur.mode = "full".into();
+        assert_eq!(cur.diff_deterministic(&base).len(), 1);
+    }
+}

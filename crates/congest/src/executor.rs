@@ -1,4 +1,13 @@
-//! The synchronous round executor.
+//! The synchronous round executor: shared model types plus the naive
+//! reference implementation.
+//!
+//! The production executor is the event-driven active-set scheduler in
+//! [`crate::scheduler`] (re-exported as [`crate::run`]). This module keeps
+//! the model vocabulary — [`CongestConfig`], [`Protocol`], [`Outbox`],
+//! [`RunMetrics`], [`SimError`] — and [`run_reference`], the
+//! call-everyone-every-round loop whose observable behavior the scheduler
+//! must reproduce bit-for-bit (property-tested in
+//! `tests/scheduler_equivalence.rs`).
 
 use std::collections::HashSet;
 use std::fmt;
@@ -137,6 +146,15 @@ pub struct NodeCtx<'a> {
 }
 
 impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(id: NodeId, n: usize, round: u64, graph: &'a WeightedGraph) -> Self {
+        NodeCtx {
+            id,
+            n,
+            round,
+            graph,
+        }
+    }
+
     /// Neighbors of this node: `(neighbor, edge id)`, sorted by neighbor id.
     pub fn neighbors(&self) -> &'a [(NodeId, EdgeId)] {
         self.graph.neighbors(self.id)
@@ -153,35 +171,54 @@ impl<'a> NodeCtx<'a> {
     }
 }
 
-/// Per-round outgoing message buffer with model enforcement.
+/// Per-round outgoing message buffer.
+///
+/// Model enforcement — at most one message per neighbor per round, only to
+/// neighbors, within the bandwidth budget — happens when the executor
+/// commits the round; violations surface as [`SimError`]. `send` itself is
+/// O(1): the old per-send duplicate scan (O(degree²) per node per round in
+/// the worst case) moved into the executor's flat-buffer commit, which
+/// checks a per-target seen mark instead.
 #[derive(Debug)]
 pub struct Outbox<M> {
     from: NodeId,
     msgs: Vec<(NodeId, M)>,
-    error: Option<SimError>,
 }
 
 impl<M: Message> Outbox<M> {
-    fn new(from: NodeId) -> Self {
+    pub(crate) fn new(from: NodeId) -> Self {
         Outbox {
             from,
             msgs: Vec::new(),
-            error: None,
         }
+    }
+
+    /// An outbox reusing previously allocated storage (cleared).
+    pub(crate) fn recycled(from: NodeId, mut storage: Vec<(NodeId, M)>) -> Self {
+        storage.clear();
+        Outbox {
+            from,
+            msgs: storage,
+        }
+    }
+
+    /// Returns the storage for reuse by the next node.
+    pub(crate) fn into_storage(self) -> Vec<(NodeId, M)> {
+        self.msgs
+    }
+
+    pub(crate) fn from(&self) -> NodeId {
+        self.from
+    }
+
+    pub(crate) fn msgs_mut(&mut self) -> &mut Vec<(NodeId, M)> {
+        &mut self.msgs
     }
 
     /// Sends `msg` to neighbor `to`. At most one message per neighbor per
     /// round; violations surface as [`SimError`] when the round is
     /// committed.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        if self.msgs.iter().any(|(t, _)| *t == to) {
-            self.error.get_or_insert(SimError::DuplicateSend {
-                from: self.from,
-                to,
-                round: 0, // filled by the executor
-            });
-            return;
-        }
         self.msgs.push((to, msg));
     }
 
@@ -202,7 +239,7 @@ impl<M: Message> Outbox<M> {
 ///
 /// One value of the implementing type exists per node. The executor calls
 /// [`Protocol::init`] once (round 0, output delivered in round 1) and then
-/// [`Protocol::round`] once per round until quiescence: every node reports
+/// [`Protocol::round`] until quiescence: every node reports
 /// [`Protocol::done`] *and* no message is in flight.
 pub trait Protocol {
     /// Message type of this protocol.
@@ -215,9 +252,19 @@ pub trait Protocol {
     /// round's.
     fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Self::Msg)], out: &mut Outbox<Self::Msg>);
 
-    /// Local termination vote. The executor keeps invoking `round` until
-    /// all nodes vote done and the network is quiet; a node may be woken
-    /// again by a late message and may then change its vote.
+    /// Local termination vote: "I have no pending local work".
+    ///
+    /// The run quiesces once all nodes vote done and the network is quiet;
+    /// a done node may be woken by a late message and may then change its
+    /// vote.
+    ///
+    /// **Contract:** a node voting done must be a no-op on an empty inbox —
+    /// its `round` must neither send nor change state until a message
+    /// arrives. The event-driven executor ([`crate::run`]) relies on this
+    /// to skip idle nodes entirely; a protocol that votes done and keeps
+    /// talking terminates early there (the skipped sends never happen).
+    /// [`run_reference`] invokes every node every round and therefore
+    /// exposes such contract violations as runaway or divergent runs.
     fn done(&self) -> bool;
 }
 
@@ -236,22 +283,95 @@ pub struct RunMetrics {
     pub cut_bits: u64,
 }
 
-/// Outcome of [`run`]: final per-node states plus metrics.
+/// Scheduler work counters. Unlike [`RunMetrics`] these describe the
+/// *executor's* effort, not the protocol's model cost, so they differ
+/// between [`crate::run`] and [`run_reference`] on the same workload —
+/// that difference is the point (see `bench_runner`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Number of [`Protocol::round`] invocations (`init` excluded).
+    pub activations: u64,
+    /// Invocations of nodes that had voted done and were woken by a
+    /// delivery. Only tracked by the event-driven executor; 0 under
+    /// [`run_reference`].
+    pub wakeups: u64,
+}
+
+/// Outcome of a run: final per-node states plus metrics.
 #[derive(Debug)]
 pub struct RunResult<P> {
     /// Final protocol state of each node, indexed by node id.
     pub states: Vec<P>,
     /// Aggregate statistics.
     pub metrics: RunMetrics,
+    /// Executor work counters.
+    pub stats: SchedStats,
 }
 
-/// Executes `nodes` (one [`Protocol`] state per node id) on the network `g`
-/// until quiescence.
+/// Naive pending-message state of the reference executor.
+struct RefState<M> {
+    pending: Vec<Vec<(NodeId, M)>>,
+    seen: HashSet<NodeId>,
+    in_flight: usize,
+}
+
+/// Validates and meters one node's outgoing messages (reference path).
+/// Duplicate sends take precedence over per-message violations, exactly
+/// as in the scheduler's flat-buffer commit.
+fn commit_reference<M: Message>(
+    g: &WeightedGraph,
+    cfg: &CongestConfig,
+    round: u64,
+    out: &mut Outbox<M>,
+    st: &mut RefState<M>,
+    metrics: &mut RunMetrics,
+) -> Result<(), SimError> {
+    let from = out.from;
+    st.seen.clear();
+    for &(to, _) in &out.msgs {
+        if !st.seen.insert(to) {
+            return Err(SimError::DuplicateSend { from, to, round });
+        }
+    }
+    for (to, msg) in out.msgs.drain(..) {
+        let edge = g
+            .find_edge(from, to)
+            .ok_or(SimError::NotANeighbor { from, to })?;
+        let bits = msg.encoded_bits();
+        if bits > cfg.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget: cfg.bandwidth_bits,
+                round,
+            });
+        }
+        metrics.messages += 1;
+        metrics.total_bits += bits as u64;
+        metrics.max_message_bits = metrics.max_message_bits.max(bits);
+        if cfg.metered_cut.contains(&edge) {
+            metrics.cut_bits += bits as u64;
+        }
+        st.pending[to.idx()].push((from, msg));
+        st.in_flight += 1;
+    }
+    Ok(())
+}
+
+/// The naive reference executor: invokes every node every round.
+///
+/// Θ(n) scheduling work per round makes this unsuitable for sparse
+/// protocols at scale — use [`crate::run`] — but its simplicity makes it
+/// the semantic oracle: the scheduler must produce bit-identical
+/// [`RunMetrics`] and final states on every contract-abiding protocol,
+/// and `bench_runner` measures the work the active-set scheduler saves
+/// against it.
 ///
 /// # Errors
 ///
 /// Propagates any [`SimError`] raised by model enforcement.
-pub fn run<P: Protocol>(
+pub fn run_reference<P: Protocol>(
     g: &WeightedGraph,
     mut nodes: Vec<P>,
     cfg: &CongestConfig,
@@ -264,66 +384,25 @@ pub fn run<P: Protocol>(
         });
     }
     let mut metrics = RunMetrics::default();
+    let mut stats = SchedStats::default();
     let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-    let mut pending: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-    let mut in_flight = 0usize;
-
-    let commit = |from: NodeId,
-                  out: Outbox<P::Msg>,
-                  round: u64,
-                  pending: &mut Vec<Vec<(NodeId, P::Msg)>>,
-                  in_flight: &mut usize,
-                  metrics: &mut RunMetrics|
-     -> Result<(), SimError> {
-        if let Some(mut e) = out.error {
-            if let SimError::DuplicateSend { round: r, .. } = &mut e {
-                *r = round;
-            }
-            return Err(e);
-        }
-        for (to, msg) in out.msgs {
-            let edge = g
-                .find_edge(from, to)
-                .ok_or(SimError::NotANeighbor { from, to })?;
-            let bits = msg.encoded_bits();
-            if bits > cfg.bandwidth_bits {
-                return Err(SimError::BandwidthExceeded {
-                    from,
-                    to,
-                    bits,
-                    budget: cfg.bandwidth_bits,
-                    round,
-                });
-            }
-            metrics.messages += 1;
-            metrics.total_bits += bits as u64;
-            metrics.max_message_bits = metrics.max_message_bits.max(bits);
-            if cfg.metered_cut.contains(&edge) {
-                metrics.cut_bits += bits as u64;
-            }
-            pending[to.idx()].push((from, msg));
-            *in_flight += 1;
-        }
-        Ok(())
+    let mut st = RefState {
+        pending: vec![Vec::new(); n],
+        seen: HashSet::new(),
+        in_flight: 0,
     };
 
     // Round 0: init.
     for v in 0..n {
-        let ctx = NodeCtx {
-            id: NodeId::from(v),
-            n,
-            round: 0,
-            graph: g,
-        };
+        let ctx = NodeCtx::new(NodeId::from(v), n, 0, g);
         let mut out = Outbox::new(ctx.id);
         nodes[v].init(&ctx, &mut out);
-        commit(ctx.id, out, 0, &mut pending, &mut in_flight, &mut metrics)?;
+        commit_reference(g, cfg, 0, &mut out, &mut st, &mut metrics)?;
     }
 
     let mut round = 0u64;
     loop {
-        let quiet = in_flight == 0 && inboxes.iter().all(|i| i.is_empty());
-        if quiet && nodes.iter().all(|p| p.done()) {
+        if st.in_flight == 0 && nodes.iter().all(|p| p.done()) {
             break;
         }
         round += 1;
@@ -333,26 +412,15 @@ pub fn run<P: Protocol>(
             });
         }
         // Deliver messages sent last round.
-        std::mem::swap(&mut inboxes, &mut pending);
-        in_flight = 0;
+        std::mem::swap(&mut inboxes, &mut st.pending);
+        st.in_flight = 0;
         for v in 0..n {
-            let ctx = NodeCtx {
-                id: NodeId::from(v),
-                n,
-                round,
-                graph: g,
-            };
+            let ctx = NodeCtx::new(NodeId::from(v), n, round, g);
             let inbox = std::mem::take(&mut inboxes[v]);
             let mut out = Outbox::new(ctx.id);
             nodes[v].round(&ctx, &inbox, &mut out);
-            commit(
-                ctx.id,
-                out,
-                round,
-                &mut pending,
-                &mut in_flight,
-                &mut metrics,
-            )?;
+            stats.activations += 1;
+            commit_reference(g, cfg, round, &mut out, &mut st, &mut metrics)?;
         }
         metrics.rounds = round;
     }
@@ -360,13 +428,22 @@ pub fn run<P: Protocol>(
     Ok(RunResult {
         states: nodes,
         metrics,
+        stats,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::run;
     use dsf_graph::generators;
+
+    type Exec<P> = fn(&WeightedGraph, Vec<P>, &CongestConfig) -> Result<RunResult<P>, SimError>;
+
+    /// Both executors, to exercise model enforcement on each.
+    fn executors<P: Protocol>() -> [Exec<P>; 2] {
+        [run::<P>, run_reference::<P>]
+    }
 
     #[derive(Clone, Debug)]
     struct Blob(usize);
@@ -402,29 +479,33 @@ mod tests {
         let g = generators::path(3, 1);
         let cfg = CongestConfig::for_graph(&g);
         let too_big = cfg.bandwidth_bits + 1;
-        let nodes = (0..3)
-            .map(|_| Oversize {
-                fired: false,
-                size: too_big,
-            })
-            .collect();
-        let err = run(&g, nodes, &cfg).unwrap_err();
-        assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+        for exec in executors() {
+            let nodes = (0..3)
+                .map(|_| Oversize {
+                    fired: false,
+                    size: too_big,
+                })
+                .collect();
+            let err = exec(&g, nodes, &cfg).unwrap_err();
+            assert!(matches!(err, SimError::BandwidthExceeded { .. }));
+        }
     }
 
     #[test]
     fn within_budget_passes() {
         let g = generators::path(3, 1);
         let cfg = CongestConfig::for_graph(&g);
-        let nodes = (0..3)
-            .map(|_| Oversize {
-                fired: false,
-                size: cfg.bandwidth_bits,
-            })
-            .collect();
-        let res = run(&g, nodes, &cfg).unwrap();
-        assert_eq!(res.metrics.messages, 3);
-        assert_eq!(res.metrics.max_message_bits, cfg.bandwidth_bits);
+        for exec in executors() {
+            let nodes = (0..3)
+                .map(|_| Oversize {
+                    fired: false,
+                    size: cfg.bandwidth_bits,
+                })
+                .collect();
+            let res = exec(&g, nodes, &cfg).unwrap();
+            assert_eq!(res.metrics.messages, 3);
+            assert_eq!(res.metrics.max_message_bits, cfg.bandwidth_bits);
+        }
     }
 
     /// Sends two messages to the same neighbor in one round.
@@ -451,12 +532,22 @@ mod tests {
     #[test]
     fn duplicate_send_is_rejected() {
         let g = generators::path(2, 1);
-        let nodes = (0..2).map(|_| DoubleSend { fired: false }).collect();
-        let err = run(&g, nodes, &CongestConfig::for_graph(&g)).unwrap_err();
-        assert!(matches!(err, SimError::DuplicateSend { .. }));
+        for exec in executors() {
+            let nodes = (0..2).map(|_| DoubleSend { fired: false }).collect();
+            let err = exec(&g, nodes, &CongestConfig::for_graph(&g)).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::DuplicateSend {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    round: 0
+                }
+            );
+        }
     }
 
-    /// A protocol that never quiesces: node 0 keeps sending forever.
+    /// A protocol that never quiesces: node 0 keeps sending forever and
+    /// honestly never votes done.
     #[derive(Debug)]
     struct Chatter;
     impl Protocol for Chatter {
@@ -474,7 +565,7 @@ mod tests {
             }
         }
         fn done(&self) -> bool {
-            true // claims done but keeps talking: quiescence never holds
+            false
         }
     }
 
@@ -483,15 +574,53 @@ mod tests {
         let g = generators::path(2, 1);
         let mut cfg = CongestConfig::for_graph(&g);
         cfg.max_rounds = 50;
-        let err = run(&g, vec![Chatter, Chatter], &cfg).unwrap_err();
+        for exec in executors() {
+            let err = exec(&g, vec![Chatter, Chatter], &cfg).unwrap_err();
+            assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
+        }
+    }
+
+    /// A protocol *violating* the `done` contract: it votes done but keeps
+    /// talking. The reference executor, which invokes everyone, shows the
+    /// true divergence; the event-driven executor trusts the vote and
+    /// would stop scheduling the liar — which is why the contract exists.
+    #[derive(Debug)]
+    struct LyingChatter;
+    impl Protocol for LyingChatter {
+        type Msg = Blob;
+        fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Blob>) {
+            if ctx.id == NodeId(0) {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(1));
+            }
+        }
+        fn round(&mut self, ctx: &NodeCtx, _: &[(NodeId, Blob)], out: &mut Outbox<Blob>) {
+            if ctx.id == NodeId(0) {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(1));
+            }
+        }
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn reference_executor_exposes_done_contract_violations() {
+        let g = generators::path(2, 1);
+        let mut cfg = CongestConfig::for_graph(&g);
+        cfg.max_rounds = 50;
+        let err = run_reference(&g, vec![LyingChatter, LyingChatter], &cfg).unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
     }
 
     #[test]
     fn wrong_node_count() {
         let g = generators::path(3, 1);
-        let err = run(&g, vec![Chatter], &CongestConfig::for_graph(&g)).unwrap_err();
-        assert!(matches!(err, SimError::WrongNodeCount { .. }));
+        for exec in executors() {
+            let err = exec(&g, vec![Chatter], &CongestConfig::for_graph(&g)).unwrap_err();
+            assert!(matches!(err, SimError::WrongNodeCount { .. }));
+        }
     }
 
     /// Echo counts: each endpoint of each edge sends a ping in round 1; cut
@@ -519,10 +648,12 @@ mod tests {
         let g = generators::path(4, 1); // edges 0-1, 1-2, 2-3
         let cut_edge = g.find_edge(NodeId(1), NodeId(2)).unwrap();
         let cfg = CongestConfig::with_metered_cut(&g, [cut_edge]);
-        let nodes = (0..4).map(|_| Ping { fired: false }).collect();
-        let res = run(&g, nodes, &cfg).unwrap();
-        assert_eq!(res.metrics.cut_bits, 16); // 8 bits each direction
-        assert_eq!(res.metrics.total_bits, 6 * 8);
+        for exec in executors() {
+            let nodes = (0..4).map(|_| Ping { fired: false }).collect();
+            let res = exec(&g, nodes, &cfg).unwrap();
+            assert_eq!(res.metrics.cut_bits, 16); // 8 bits each direction
+            assert_eq!(res.metrics.total_bits, 6 * 8);
+        }
     }
 
     /// Messages sent in round r arrive in round r+1 — the synchronous
@@ -553,19 +684,21 @@ mod tests {
     #[test]
     fn one_round_message_latency() {
         let g = generators::path(2, 1);
-        let nodes = vec![
-            Echo {
-                sent_round: None,
-                got_round: None,
-            },
-            Echo {
-                sent_round: None,
-                got_round: None,
-            },
-        ];
-        let res = run(&g, nodes, &CongestConfig::for_graph(&g)).unwrap();
-        assert_eq!(res.states[0].sent_round, Some(0));
-        assert_eq!(res.states[1].got_round, Some(1));
+        for exec in executors() {
+            let nodes = vec![
+                Echo {
+                    sent_round: None,
+                    got_round: None,
+                },
+                Echo {
+                    sent_round: None,
+                    got_round: None,
+                },
+            ];
+            let res = exec(&g, nodes, &CongestConfig::for_graph(&g)).unwrap();
+            assert_eq!(res.states[0].sent_round, Some(0));
+            assert_eq!(res.states[1].got_round, Some(1));
+        }
     }
 
     #[test]
@@ -573,8 +706,10 @@ mod tests {
         let g = generators::gnp_connected(12, 0.3, 9, 5);
         let mk = || (0..12).map(|_| Ping { fired: false }).collect::<Vec<_>>();
         let cfg = CongestConfig::for_graph(&g);
-        let a = run(&g, mk(), &cfg).unwrap();
-        let b = run(&g, mk(), &cfg).unwrap();
-        assert_eq!(a.metrics, b.metrics);
+        for exec in executors() {
+            let a = exec(&g, mk(), &cfg).unwrap();
+            let b = exec(&g, mk(), &cfg).unwrap();
+            assert_eq!(a.metrics, b.metrics);
+        }
     }
 }

@@ -23,6 +23,18 @@
 //!   (e.g. "termination detection over the BFS tree: `O(D)`"), so every
 //!   reported round count is auditable.
 //!
+//! # Execution engines
+//!
+//! [`run`] is the event-driven active-set scheduler: it only invokes nodes
+//! that received a message or have not voted [`Protocol::done`], backed by
+//! a CSR-style flat slot arena instead of per-node per-round vectors. Use
+//! [`run_with_buffers`] with a caller-owned [`RunBuffers`] to make
+//! repeated runs (bench loops, multi-seed experiments) allocation-free in
+//! steady state. [`run_reference`] is the retained naive executor —
+//! everyone, every round — serving as the semantic oracle ([`RunMetrics`]
+//! and final states are bit-identical; property-tested) and as the
+//! baseline `bench_runner` measures scheduling savings against.
+//!
 //! # Example: flooding a token
 //!
 //! ```
@@ -57,12 +69,17 @@
 //! assert_eq!(res.metrics.rounds, 5);
 //! ```
 
+mod buffers;
 mod executor;
 mod ledger;
 mod message;
+mod scheduler;
 
+pub use buffers::RunBuffers;
 pub use executor::{
-    run, CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SimError,
+    run_reference, CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SchedStats,
+    SimError,
 };
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use message::{id_bits, weight_bits, Message};
+pub use scheduler::{run, run_with_buffers};

@@ -1,0 +1,232 @@
+//! The event-driven active-set scheduler.
+//!
+//! The reference executor ([`crate::run_reference`]) invokes
+//! [`Protocol::round`] on **every** node **every** round — Θ(n · rounds)
+//! work regardless of traffic, which dwarfs the useful work of sparse
+//! protocols such as BFS waves where most nodes idle most rounds. This
+//! scheduler only invokes nodes that are *active*:
+//!
+//! * a node that received a message this round (delivery wakes sleepers),
+//! * a node whose last termination vote was not done.
+//!
+//! Synchronous delivery semantics are preserved exactly: messages sent in
+//! round `r` arrive in round `r + 1`, inboxes list senders in ascending
+//! node-id order, and active nodes execute in ascending node-id order —
+//! precisely the observable behavior of the reference executor. The
+//! equivalence is property-tested (`tests/scheduler_equivalence.rs`).
+//!
+//! Skipping a node is sound because of the [`Protocol::done`] contract: a
+//! node voting done must neither send nor change state when invoked with
+//! an empty inbox, so the skipped invocations are exactly the no-op ones.
+//! A protocol that votes done and keeps talking violates the contract;
+//! the reference executor (which skips nothing) flushes such bugs out.
+
+use dsf_graph::{NodeId, WeightedGraph};
+
+use crate::buffers::RunBuffers;
+use crate::executor::{
+    CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SchedStats, SimError,
+};
+use crate::message::Message;
+
+/// Executes `nodes` (one [`Protocol`] state per node id) on the network
+/// `g` until quiescence, allocating fresh [`RunBuffers`].
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by model enforcement.
+pub fn run<P: Protocol>(
+    g: &WeightedGraph,
+    nodes: Vec<P>,
+    cfg: &CongestConfig,
+) -> Result<RunResult<P>, SimError> {
+    let mut buffers = RunBuffers::for_graph(g);
+    run_with_buffers(g, nodes, cfg, &mut buffers)
+}
+
+/// Like [`run`], but reuses caller-owned [`RunBuffers`]: repeated runs on
+/// the same graph allocate zero steady-state memory.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by model enforcement.
+pub fn run_with_buffers<P: Protocol>(
+    g: &WeightedGraph,
+    mut nodes: Vec<P>,
+    cfg: &CongestConfig,
+    buf: &mut RunBuffers<P::Msg>,
+) -> Result<RunResult<P>, SimError> {
+    let n = g.n();
+    if nodes.len() != n {
+        return Err(SimError::WrongNodeCount {
+            expected: n,
+            got: nodes.len(),
+        });
+    }
+    buf.ensure(g);
+    let mut metrics = RunMetrics::default();
+    let mut stats = SchedStats::default();
+    let mut not_done = 0usize;
+
+    // Round 0: init every node; collect votes and the first active set.
+    for v in 0..n {
+        let ctx = NodeCtx::new(NodeId::from(v), n, 0, g);
+        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut buf.out_storage));
+        nodes[v].init(&ctx, &mut out);
+        commit(g, cfg, 0, &mut out, buf, &mut metrics)?;
+        buf.out_storage = out.into_storage();
+        let vote = nodes[v].done();
+        buf.done[v] = vote;
+        if !vote {
+            not_done += 1;
+            if !buf.active_mark[v] {
+                buf.active_mark[v] = true;
+                buf.next_active.push(v as u32);
+            }
+        }
+    }
+
+    let mut round = 0u64;
+    loop {
+        if buf.in_flight == 0 && not_done == 0 {
+            break;
+        }
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: cfg.max_rounds,
+            });
+        }
+        // Deliver messages sent last round; promote the scheduled set.
+        std::mem::swap(&mut buf.cur, &mut buf.next);
+        std::mem::swap(&mut buf.cur_active, &mut buf.next_active);
+        buf.next_active.clear();
+        for &v in &buf.cur_active {
+            buf.active_mark[v as usize] = false;
+        }
+        // Ascending node-id order, matching the reference executor.
+        buf.cur_active.sort_unstable();
+        buf.in_flight = 0;
+
+        let cur_active = std::mem::take(&mut buf.cur_active);
+        let mut res = Ok(());
+        for &v in &cur_active {
+            let vu = v as usize;
+            let ctx = NodeCtx::new(NodeId(v), n, round, g);
+            // Gather the inbox from the slot arena; slot order is the
+            // sorted adjacency order, i.e. ascending sender id — the
+            // delivery order the reference executor produces.
+            buf.inbox.clear();
+            let lo = buf.topo.off[vu] as usize;
+            let nbrs = g.neighbors(ctx.id);
+            for (j, slot) in buf.cur[lo..lo + nbrs.len()].iter_mut().enumerate() {
+                if let Some(m) = slot.take() {
+                    buf.inbox.push((nbrs[j].0, m));
+                }
+            }
+            let was_done = buf.done[vu];
+            if was_done && !buf.inbox.is_empty() {
+                stats.wakeups += 1;
+            }
+            let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut buf.out_storage));
+            nodes[vu].round(&ctx, &buf.inbox, &mut out);
+            stats.activations += 1;
+            res = commit(g, cfg, round, &mut out, buf, &mut metrics);
+            buf.out_storage = out.into_storage();
+            if res.is_err() {
+                break;
+            }
+            let vote = nodes[vu].done();
+            if vote != was_done {
+                buf.done[vu] = vote;
+                if vote {
+                    not_done -= 1;
+                } else {
+                    not_done += 1;
+                }
+            }
+            if !vote && !buf.active_mark[vu] {
+                buf.active_mark[vu] = true;
+                buf.next_active.push(v);
+            }
+        }
+        buf.cur_active = cur_active;
+        res?;
+        metrics.rounds = round;
+    }
+
+    Ok(RunResult {
+        states: nodes,
+        metrics,
+        stats,
+    })
+}
+
+/// Validates and meters one node's outgoing messages, writing them into
+/// the next-round slots and scheduling the receivers.
+///
+/// Error precedence matches the reference executor: a duplicate send
+/// anywhere in the outbox beats per-message violations, which are then
+/// reported in send order (non-neighbor before over-budget).
+fn commit<M: Message>(
+    g: &WeightedGraph,
+    cfg: &CongestConfig,
+    round: u64,
+    out: &mut Outbox<M>,
+    buf: &mut RunBuffers<M>,
+    metrics: &mut RunMetrics,
+) -> Result<(), SimError> {
+    let from = out.from();
+    let msgs = out.msgs_mut();
+    // Pass 1: duplicate-send detection, O(1) per message via epoch marks.
+    buf.dup_epoch += 1;
+    let epoch = buf.dup_epoch;
+    for i in 0..msgs.len() {
+        let to = msgs[i].0;
+        let dup = if to.idx() < buf.topo.n {
+            let seen = buf.dup_mark[to.idx()] == epoch;
+            buf.dup_mark[to.idx()] = epoch;
+            seen
+        } else {
+            // Out-of-graph target: cannot be marked; fall back to a scan
+            // so the error matches the reference executor.
+            msgs[..i].iter().any(|&(t, _)| t == to)
+        };
+        if dup {
+            return Err(SimError::DuplicateSend { from, to, round });
+        }
+    }
+    // Pass 2: per-message model enforcement, metering, slot write.
+    let adj = g.neighbors(from);
+    for (to, msg) in msgs.drain(..) {
+        let j = adj
+            .binary_search_by_key(&to, |&(nb, _)| nb)
+            .map_err(|_| SimError::NotANeighbor { from, to })?;
+        let edge = adj[j].1;
+        let bits = msg.encoded_bits();
+        if bits > cfg.bandwidth_bits {
+            return Err(SimError::BandwidthExceeded {
+                from,
+                to,
+                bits,
+                budget: cfg.bandwidth_bits,
+                round,
+            });
+        }
+        metrics.messages += 1;
+        metrics.total_bits += bits as u64;
+        metrics.max_message_bits = metrics.max_message_bits.max(bits);
+        if cfg.metered_cut.contains(&edge) {
+            metrics.cut_bits += bits as u64;
+        }
+        let slot = buf.topo.mate[buf.topo.off[from.idx()] as usize + j] as usize;
+        debug_assert!(buf.next[slot].is_none(), "slot double write");
+        buf.next[slot] = Some(msg);
+        buf.in_flight += 1;
+        if !buf.active_mark[to.idx()] {
+            buf.active_mark[to.idx()] = true;
+            buf.next_active.push(to.0);
+        }
+    }
+    Ok(())
+}

@@ -59,7 +59,14 @@ impl Protocol for BfsNode {
     }
 
     fn done(&self) -> bool {
-        self.joined
+        // Always idle: an unjoined node has nothing to do until a wave
+        // message arrives (the event-driven scheduler leaves it asleep
+        // instead of busy-spinning it every round), and a joined node has
+        // announced within the same invocation it joined. Quiescence —
+        // no message in flight — implies every node has joined, because on
+        // a connected graph the frontier's announcements stay in flight
+        // until the wave has covered the graph.
+        true
     }
 }
 
@@ -91,6 +98,12 @@ impl BfsOutcome {
 ///
 /// Propagates simulator errors (cannot occur for this protocol under the
 /// default bandwidth).
+///
+/// # Panics
+///
+/// Panics if the graph is not connected (the model requires the network
+/// to be a single component; `GraphBuilder::build` enforces this, but
+/// `build_unchecked` graphs can violate it).
 pub fn build_bfs_tree(
     g: &WeightedGraph,
     root: NodeId,
@@ -107,6 +120,12 @@ pub fn build_bfs_tree(
         })
         .collect();
     let res = run(g, nodes, cfg)?;
+    // Since done() idles (quiescence alone ends the run), an unreached
+    // node no longer surfaces as MaxRoundsExceeded — check explicitly.
+    assert!(
+        res.states.iter().all(|s| s.joined),
+        "BFS wave did not reach every node: graph is disconnected"
+    );
     let parent: Vec<Option<NodeId>> = res.states.iter().map(|s| s.parent).collect();
     let depth: Vec<u32> = res.states.iter().map(|s| s.depth).collect();
     let mut children = vec![Vec::new(); g.n()];
@@ -148,6 +167,19 @@ mod tests {
         // One round per BFS layer plus the final drain.
         assert!(out.metrics.rounds as u32 >= 19);
         assert!(out.metrics.rounds as u32 <= 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_fails_loudly() {
+        // With idling done() the wave's death no longer trips the
+        // max-rounds guard on disconnected graphs; the explicit coverage
+        // check must fire instead.
+        let mut b = dsf_graph::GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        let g = b.build_unchecked();
+        let _ = build_bfs_tree(&g, NodeId(0), &CongestConfig::for_graph(&g));
     }
 
     #[test]
