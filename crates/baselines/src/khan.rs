@@ -82,9 +82,16 @@ pub fn solve_khan(
             ledger.absorb(&format!("rep {rep}: component {ci}: "), sel.ledger);
             union = union.union(&sel.forest);
         }
-        let w = union.weight(g);
+        // The per-component trees overlap, so their union can contain
+        // cycles. Reduce to a lightest spanning forest of the union (same
+        // connectivity, hence still feasible) and prune to a minimal
+        // feasible subset, as every other solver does before returning.
+        let forest = union
+            .lightest_spanning_forest(g)
+            .prune_to_minimal(g, &minimal);
+        let w = forest.weight(g);
         if best.as_ref().is_none_or(|(_, bw)| w < *bw) {
-            best = Some((union, w));
+            best = Some((forest, w));
         }
     }
     let (forest, _) = best.expect("at least one repetition");

@@ -1,40 +1,149 @@
-//! Times the solvers and raw executor micro-benchmarks and emits the
-//! machine-readable perf trajectory (`BENCH_executor.json`).
+//! Emits the machine-readable perf and conformance trajectories.
 //!
 //! ```text
-//! cargo run -p dsf-bench --bin bench_runner --release                # full sizes
-//! cargo run -p dsf-bench --bin bench_runner --release -- --quick    # CI smoke sizes
-//! cargo run -p dsf-bench --bin bench_runner --release -- \
-//!     --quick --check crates/bench/baselines/executor_quick.json    # regression gate
+//! bench_runner [--quick] [--out PATH] [--check BASELINE]   # executor mode
+//! bench_runner --conformance [--quick] [--out PATH]        # conformance mode
 //! ```
 //!
-//! `--out PATH` overrides the output path. With `--check BASELINE` the
-//! deterministic metrics (n, m, rounds, messages, activations) are
-//! compared against the checked-in baseline and any drift exits non-zero;
-//! wall-clock is report-only. After an intentional change, regenerate the
-//! baseline by copying the fresh output over it.
+//! **Executor mode** (default) times the execution engines and solvers and
+//! writes `BENCH_executor.json`. With `--check BASELINE` the deterministic
+//! metrics (n, m, rounds, messages, activations) are compared against the
+//! checked-in baseline and any drift exits non-zero; wall-clock is
+//! report-only. After an intentional change, regenerate the baseline by
+//! copying the fresh output over it.
+//!
+//! **Conformance mode** (`--conformance`) sweeps the corpus tier through
+//! the differential oracle (`dsf_workloads::conformance`), writes
+//! `BENCH_conformance.json` (per-family ratio distribution), and exits
+//! non-zero when any solver violates feasibility, determinism, the
+//! certified ratio bounds, or the CONGEST bandwidth budget.
+//!
+//! Unknown flags are rejected with a usage message (exit code 2).
 
 use std::process::ExitCode;
 
+use dsf_bench::conformance;
 use dsf_bench::perf::{self, BenchReport};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let flag_value = |flag: &str| {
-        args.iter().position(|a| a == flag).map(|i| {
-            args.get(i + 1).unwrap_or_else(|| {
-                eprintln!("{flag} requires a path argument");
-                std::process::exit(2);
-            })
-        })
-    };
-    let out_path = flag_value("--out")
-        .cloned()
-        .unwrap_or_else(|| "BENCH_executor.json".into());
-    let check_path = flag_value("--check").cloned();
+const USAGE: &str = "\
+usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
+       bench_runner --conformance [--quick] [--out PATH]
 
-    let report = perf::collect(quick);
+  --quick        CI smoke sizes (quick corpus tier in conformance mode)
+  --out PATH     output JSON path (default BENCH_executor.json, or
+                 BENCH_conformance.json with --conformance)
+  --check PATH   executor mode only: gate deterministic metrics against a
+                 checked-in baseline report
+  --conformance  run the corpus conformance sweep instead of the executor
+                 benchmarks";
+
+struct Args {
+    quick: bool,
+    conformance: bool,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("bench_runner: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        conformance: false,
+        out: None,
+        check: None,
+    };
+    let mut it = raw.iter();
+    // A flag's path value must not itself look like a flag — otherwise
+    // `--out --quick` would silently eat the mode switch.
+    let path_value = |flag: &str, next: Option<&String>| -> Result<String, String> {
+        match next {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("{flag} requires a path argument")),
+        }
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--conformance" => args.conformance = true,
+            "--out" => args.out = Some(path_value("--out", it.next())?),
+            "--check" => args.check = Some(path_value("--check", it.next())?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.conformance && args.check.is_some() {
+        return Err("--check applies to executor mode only".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&raw) {
+        Ok(a) => a,
+        Err(e) => return usage_error(&e),
+    };
+    if args.conformance {
+        run_conformance(&args)
+    } else {
+        run_executor(&args)
+    }
+}
+
+fn run_conformance(args: &Args) -> ExitCode {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_conformance.json".into());
+    let report = conformance::collect(args.quick);
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# bench_runner --conformance ({} mode) -> {out_path}\n",
+        report.mode
+    );
+    println!(
+        "{:<28} {:>11} {:>11} {:>11}",
+        "family/solver", "min ratio", "mean ratio", "max ratio"
+    );
+    for (key, min, mean, max) in report.family_summary() {
+        println!(
+            "{key:<28} {:>11.3} {:>11.3} {:>11.3}",
+            min as f64 / 1000.0,
+            mean as f64 / 1000.0,
+            max as f64 / 1000.0
+        );
+    }
+    println!(
+        "\n{} records over {} mode corpus (ratio = weight / certified upper bound)",
+        report.entries.len(),
+        report.mode
+    );
+
+    if report.violations.is_empty() {
+        println!("conformance gate: no violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nconformance gate FAILED ({}):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_executor(args: &Args) -> ExitCode {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_executor.json".into());
+    let report = perf::collect(args.quick);
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -59,10 +168,10 @@ fn main() -> ExitCode {
         );
     }
 
-    let Some(baseline_path) = check_path else {
+    let Some(baseline_path) = &args.check else {
         return ExitCode::SUCCESS;
     };
-    let baseline = match std::fs::read_to_string(&baseline_path)
+    let baseline = match std::fs::read_to_string(baseline_path)
         .map_err(|e| e.to_string())
         .and_then(|s| BenchReport::parse(&s))
     {

@@ -1,0 +1,228 @@
+//! The `bench_runner --conformance` mode: sweeps the conformance corpus
+//! through the [`dsf_workloads::conformance`] oracle and emits the
+//! per-family ratio distribution as machine-readable JSON
+//! (`BENCH_conformance.json`).
+//!
+//! # JSON schema (`dsf-bench-conformance/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "dsf-bench-conformance/v1",
+//!   "mode": "quick",
+//!   "violations": 0,
+//!   "entries": [
+//!     {"name": "conformance/gnp/matched_clusters/seed=0/det", "n": 20,
+//!      "m": 52, "k": 4, "t": 12, "weight": 37, "cert_lower_milli": 30000,
+//!      "cert_upper": 41, "ratio_milli": 903}
+//!   ]
+//! }
+//! ```
+//!
+//! One entry object per line (same line-oriented convention as the
+//! executor schema). `ratio_milli` is `⌈1000 · weight / cert_upper⌉` — an
+//! integer so the report is bit-identical across machines; `cert_lower_milli`
+//! is the certified lower bound scaled by 1000 and rounded. Everything in
+//! the report is deterministic; the gate is the `violations` count (the
+//! runner exits non-zero when it is not 0).
+
+use dsf_workloads::conformance::{check_entry, EntryOutcome};
+use dsf_workloads::corpus::{corpus, CorpusEntry, Tier};
+
+/// Identifier of the emitted JSON layout.
+pub const SCHEMA: &str = "dsf-bench-conformance/v1";
+
+/// One solver-on-instance record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfEntry {
+    /// Record id: `conformance/<family>/<pattern>/seed=<s>/<solver>`.
+    pub name: String,
+    /// Nodes of the instance graph.
+    pub n: usize,
+    /// Edges of the instance graph.
+    pub m: usize,
+    /// Input components.
+    pub k: usize,
+    /// Terminals.
+    pub t: usize,
+    /// Weight of the solver's forest.
+    pub weight: u64,
+    /// Certified lower bound, scaled by 1000 and rounded.
+    pub cert_lower_milli: u64,
+    /// Certified upper bound on OPT.
+    pub cert_upper: u64,
+    /// `⌈1000 · weight / cert_upper⌉`.
+    pub ratio_milli: u64,
+}
+
+/// A full conformance report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Oracle violations across the sweep (0 = gate passes).
+    pub violations: Vec<String>,
+    /// Per solver-on-instance records, in corpus order.
+    pub entries: Vec<ConfEntry>,
+}
+
+fn records_of(entry: &CorpusEntry, outcome: &EntryOutcome) -> Vec<ConfEntry> {
+    outcome
+        .records
+        .iter()
+        .map(|r| {
+            let upper = entry.certificate.upper.max(1);
+            ConfEntry {
+                name: format!("conformance/{}/{}", entry.id, r.solver),
+                n: entry.graph.n(),
+                m: entry.graph.m(),
+                k: entry.instance.k(),
+                t: entry.instance.t(),
+                weight: r.weight,
+                cert_lower_milli: (entry.certificate.lower * 1000.0).round() as u64,
+                cert_upper: entry.certificate.upper,
+                ratio_milli: (1000 * r.weight).div_ceil(upper),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the corpus tier and assembles the report.
+pub fn collect(quick: bool) -> ConformanceReport {
+    let tier = if quick { Tier::Quick } else { Tier::Full };
+    let mut entries = Vec::new();
+    let mut violations = Vec::new();
+    for entry in corpus(tier) {
+        let outcome = check_entry(&entry);
+        entries.extend(records_of(&entry, &outcome));
+        violations.extend(
+            outcome
+                .violations
+                .into_iter()
+                .map(|v| format!("{}: {v}", entry.id)),
+        );
+    }
+    ConformanceReport {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        violations,
+        entries,
+    }
+}
+
+impl ConformanceReport {
+    /// Serializes to the `dsf-bench-conformance/v1` JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"violations\": {},\n", self.violations.len()));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"t\": {}, \
+                 \"weight\": {}, \"cert_lower_milli\": {}, \"cert_upper\": {}, \
+                 \"ratio_milli\": {}}}{comma}\n",
+                e.name,
+                e.n,
+                e.m,
+                e.k,
+                e.t,
+                e.weight,
+                e.cert_lower_milli,
+                e.cert_upper,
+                e.ratio_milli,
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Per-`family/solver` ratio distribution (min/mean/max of
+    /// `ratio_milli`), in first-appearance order — the human-readable
+    /// summary `bench_runner` prints.
+    pub fn family_summary(&self) -> Vec<(String, u64, u64, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut buckets: std::collections::HashMap<String, Vec<u64>> =
+            std::collections::HashMap::new();
+        for e in &self.entries {
+            // name = conformance/<family>/<pattern>/seed=<s>/<solver>
+            let parts: Vec<&str> = e.name.split('/').collect();
+            let (family, solver) = (parts[1], parts[parts.len() - 1]);
+            let key = format!("{family}/{solver}");
+            if !buckets.contains_key(&key) {
+                order.push(key.clone());
+            }
+            buckets.entry(key).or_default().push(e.ratio_milli);
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let rs = &buckets[&key];
+                let min = *rs.iter().min().expect("nonempty bucket");
+                let max = *rs.iter().max().expect("nonempty bucket");
+                let mean = rs.iter().sum::<u64>() / rs.len() as u64;
+                (key, min, mean, max)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConformanceReport {
+        ConformanceReport {
+            mode: "quick".into(),
+            violations: Vec::new(),
+            entries: vec![
+                ConfEntry {
+                    name: "conformance/gnp/long_range/seed=0/det".into(),
+                    n: 20,
+                    m: 50,
+                    k: 3,
+                    t: 6,
+                    weight: 30,
+                    cert_lower_milli: 28000,
+                    cert_upper: 28,
+                    ratio_milli: 1072,
+                },
+                ConfEntry {
+                    name: "conformance/gnp/long_range/seed=0/moat".into(),
+                    n: 20,
+                    m: 50,
+                    k: 3,
+                    t: 6,
+                    weight: 28,
+                    cert_lower_milli: 28000,
+                    cert_upper: 28,
+                    ratio_milli: 1000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_one_entry_per_line() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"dsf-bench-conformance/v1\""));
+        assert!(json.contains("\"violations\": 0"));
+        let entry_lines = json.lines().filter(|l| l.contains("\"name\"")).count();
+        assert_eq!(entry_lines, 2);
+    }
+
+    #[test]
+    fn family_summary_aggregates_per_solver() {
+        let s = sample().family_summary();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], ("gnp/det".into(), 1072, 1072, 1072));
+        assert_eq!(s[1], ("gnp/moat".into(), 1000, 1000, 1000));
+    }
+
+    #[test]
+    fn ratio_milli_rounds_up() {
+        // 1000 * 30 / 28 = 1071.42 -> 1072.
+        assert_eq!((1000u64 * 30).div_ceil(28), 1072);
+    }
+}

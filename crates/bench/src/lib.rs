@@ -8,6 +8,7 @@
 
 mod table;
 
+pub mod conformance;
 pub mod experiments;
 pub mod perf;
 

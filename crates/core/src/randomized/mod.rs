@@ -151,9 +151,13 @@ pub fn solve_randomized(
 
         let sel = selection::run_selection_stage(g, &emb, &minimal, &bfs, &congest)?;
         ledger.absorb(&format!("rep {rep}: "), sel.ledger);
-        let w = sel.forest.weight(g);
+        // Rank repetitions by what the final cleanup will actually keep
+        // (the spanning-forest reduction of the overlapping label paths),
+        // not by the raw union weight — a lighter union can reduce worse.
+        let w = sel.forest.lightest_spanning_forest(g).weight(g);
         let tree_opt = emb.tree_opt_weight(&minimal);
-        // Lemma G.8: stage-1 weight is bounded by the tree optimum.
+        // Lemma G.8: stage-1 weight is bounded by the tree optimum (the
+        // reduction only removes edges, so the bound carries over).
         debug_assert!(
             w <= tree_opt,
             "stage-1 weight {w} exceeds tree optimum {tree_opt}"
@@ -178,7 +182,11 @@ pub fn solve_randomized(
         stage1.union(&second)
     } else {
         stage1
-    };
+    }
+    // Overlapping per-label tree paths (stage 1) and stage-2 paths closing
+    // against stage-1 edges can both create cycles; restore the forest
+    // invariant without touching connectivity.
+    .lightest_spanning_forest(g);
 
     Ok(RandOutput {
         forest,

@@ -205,6 +205,187 @@ pub fn complete(n: usize, max_w: Weight, seed: u64) -> WeightedGraph {
     b.build().expect("complete graph is connected")
 }
 
+/// A uniform random recursive tree on `n` nodes (each node `i ≥ 1`
+/// attaches to a uniform `j < i`) with `noise` extra non-tree edges.
+///
+/// Trees are the hardest regime for moat growing (every merge path is
+/// forced); the noise edges add a few shortcuts so pruning has real
+/// choices without destroying the tree-like global structure.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn tree_with_noise(n: usize, noise: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = r.gen_range(0..i);
+        let w = random_weight(&mut r, max_w);
+        b.add_edge(NodeId::from(i), NodeId::from(j), w).unwrap();
+    }
+    // Rejection-sample distinct noise edges; bounded attempts keep the
+    // generator total even when `noise` exceeds the remaining capacity.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < noise && attempts < 20 * noise.max(1) && n >= 2 {
+        attempts += 1;
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        if i == j || b.has_edge(NodeId::from(i), NodeId::from(j)) {
+            continue;
+        }
+        let w = random_weight(&mut r, max_w);
+        b.add_edge(NodeId::from(i), NodeId::from(j), w).unwrap();
+        added += 1;
+    }
+    b.build().expect("tree skeleton guarantees connectivity")
+}
+
+/// A barbell: two complete graphs of `clique` nodes joined by a path of
+/// `bridge` intermediate nodes — the expander-bridge family. Demand pairs
+/// spanning the bells force long augmenting structures through the narrow
+/// bridge, the adversarial regime for dual-fitting analyses.
+///
+/// Node layout: `0..clique` is the first bell, `clique..clique+bridge` the
+/// bridge path, `clique+bridge..2*clique+bridge` the second bell.
+///
+/// # Panics
+///
+/// Panics if `clique == 0`.
+pub fn barbell(clique: usize, bridge: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(clique > 0, "bells need at least one node each");
+    let n = 2 * clique + bridge;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    let bell = |b: &mut GraphBuilder, r: &mut StdRng, base: usize| {
+        for i in 0..clique {
+            for j in (i + 1)..clique {
+                b.add_edge(
+                    NodeId::from(base + i),
+                    NodeId::from(base + j),
+                    random_weight(r, max_w),
+                )
+                .unwrap();
+            }
+        }
+    };
+    bell(&mut b, &mut r, 0);
+    bell(&mut b, &mut r, clique + bridge);
+    // Chain: last node of bell one, the bridge path, first node of bell two.
+    let mut prev = clique - 1;
+    for p in 0..bridge {
+        let v = clique + p;
+        b.add_edge(
+            NodeId::from(prev),
+            NodeId::from(v),
+            random_weight(&mut r, max_w),
+        )
+        .unwrap();
+        prev = v;
+    }
+    b.add_edge(
+        NodeId::from(prev),
+        NodeId::from(clique + bridge),
+        random_weight(&mut r, max_w),
+    )
+    .unwrap();
+    b.build().expect("bells and bridge form one component")
+}
+
+/// Clustered geometric graph: `clusters` groups of `per_cluster` points,
+/// each group scattered tightly around a random center in the unit square.
+/// Every cluster is internally complete with rounded scaled-distance
+/// weights (cheap, local) and consecutive clusters are stitched by their
+/// closest crossing point pair (expensive, long) — dense demand clusters
+/// with a few long inter-cluster corridors.
+///
+/// # Panics
+///
+/// Panics if `clusters == 0` or `per_cluster == 0`.
+pub fn clustered_geometric(clusters: usize, per_cluster: usize, seed: u64) -> WeightedGraph {
+    assert!(clusters > 0 && per_cluster > 0, "need nonempty clusters");
+    let n = clusters * per_cluster;
+    let mut r = rng(seed);
+    let centers: Vec<(f64, f64)> = (0..clusters)
+        .map(|_| (r.gen::<f64>(), r.gen::<f64>()))
+        .collect();
+    let spread = 0.04;
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let (cx, cy) = centers[i / per_cluster];
+            (
+                cx + spread * (r.gen::<f64>() - 0.5),
+                cy + spread * (r.gen::<f64>() - 0.5),
+            )
+        })
+        .collect();
+    let dist = |i: usize, j: usize| -> f64 {
+        let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let scaled = |d: f64| -> Weight { ((d * 1000.0).round() as Weight).max(1) };
+    let mut b = GraphBuilder::new(n);
+    for c in 0..clusters {
+        let base = c * per_cluster;
+        for i in base..base + per_cluster {
+            for j in (i + 1)..base + per_cluster {
+                b.add_edge(NodeId::from(i), NodeId::from(j), scaled(dist(i, j)))
+                    .unwrap();
+            }
+        }
+    }
+    for c in 1..clusters {
+        let (prev, cur) = ((c - 1) * per_cluster, c * per_cluster);
+        let mut best = (prev, cur, f64::INFINITY);
+        for i in prev..prev + per_cluster {
+            for j in cur..cur + per_cluster {
+                let d = dist(i, j);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        b.add_edge(NodeId::from(best.0), NodeId::from(best.1), scaled(best.2))
+            .unwrap();
+    }
+    b.build().expect("stitched clusters are connected")
+}
+
+/// Connected `G(n, p)` with heavy-tailed (Pareto) weights:
+/// `w = min(cap, ⌈(1/(1-u))^alpha⌉)` for uniform `u` — a few enormous
+/// edges among many cheap ones, stressing weight-scale robustness
+/// (`s` can vastly exceed `D`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `alpha <= 0`.
+pub fn heavy_tailed(n: usize, p: f64, alpha: f64, cap: Weight, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    assert!(alpha > 0.0, "tail exponent must be positive");
+    let mut r = rng(seed);
+    let pareto = |r: &mut StdRng| -> Weight {
+        let u: f64 = r.gen();
+        let w = (1.0 / (1.0 - u).max(1e-12)).powf(alpha).ceil() as Weight;
+        w.clamp(1, cap.max(1))
+    };
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = r.gen_range(0..i);
+        let w = pareto(&mut r);
+        b.add_edge(NodeId::from(i), NodeId::from(j), w).unwrap();
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !b.has_edge(NodeId::from(i), NodeId::from(j)) && r.gen_bool(p) {
+                let w = pareto(&mut r);
+                b.add_edge(NodeId::from(i), NodeId::from(j), w).unwrap();
+            }
+        }
+    }
+    b.build().expect("construction guarantees connectivity")
+}
+
 /// Samples `count` distinct nodes, deterministically per seed.
 pub fn sample_nodes(n: usize, count: usize, seed: u64) -> Vec<NodeId> {
     assert!(count <= n, "cannot sample {count} of {n} nodes");
@@ -290,5 +471,63 @@ mod tests {
     fn complete_graph_edge_count() {
         let g = complete(7, 9, 2);
         assert_eq!(g.m(), 21);
+    }
+
+    #[test]
+    fn tree_with_noise_shape() {
+        let g = tree_with_noise(25, 6, 8, 4);
+        assert!(g.is_connected());
+        assert_eq!(g.m(), 24 + 6);
+        // Determinism and zero-noise degenerates to a tree.
+        assert_eq!(g.edges(), tree_with_noise(25, 6, 8, 4).edges());
+        let t = tree_with_noise(25, 0, 8, 4);
+        assert_eq!(t.m(), 24);
+    }
+
+    #[test]
+    fn tree_with_noise_caps_at_complete_graph() {
+        // More noise than capacity must terminate and stay simple.
+        let g = tree_with_noise(5, 100, 3, 1);
+        assert!(g.is_connected());
+        assert!(g.m() <= 10);
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(5, 3, 7, 2);
+        assert_eq!(g.n(), 13);
+        // Two K5s (10 edges each) + 4 chain edges.
+        assert_eq!(g.m(), 2 * 10 + 4);
+        assert!(g.is_connected());
+        // Removing any chain edge disconnects the bells: the chain is the
+        // only route, so the unweighted diameter spans it.
+        assert!(metrics::unweighted_diameter(&g) >= 5);
+        // Zero-length bridge still connects the bells directly.
+        let tight = barbell(4, 0, 7, 2);
+        assert_eq!(tight.n(), 8);
+        assert!(tight.is_connected());
+    }
+
+    #[test]
+    fn clustered_geometric_shape() {
+        let g = clustered_geometric(4, 6, 11);
+        assert_eq!(g.n(), 24);
+        // 4 complete clusters (15 edges each) + 3 stitches.
+        assert_eq!(g.m(), 4 * 15 + 3);
+        assert!(g.is_connected());
+        assert_eq!(g.edges(), clustered_geometric(4, 6, 11).edges());
+    }
+
+    #[test]
+    fn heavy_tailed_is_connected_with_spread_weights() {
+        let g = heavy_tailed(40, 0.1, 2.0, 10_000, 6);
+        assert!(g.is_connected());
+        assert_eq!(g.edges(), heavy_tailed(40, 0.1, 2.0, 10_000, 6).edges());
+        let max = g.edges().iter().map(|e| e.w).max().unwrap();
+        let min = g.edges().iter().map(|e| e.w).min().unwrap();
+        assert!(max <= 10_000);
+        assert!(min >= 1);
+        // Heavy tail: the extremes differ by a large factor.
+        assert!(max >= 8 * min, "weights not heavy-tailed: {min}..{max}");
     }
 }

@@ -21,22 +21,33 @@ pub struct Mst {
 /// On a connected graph returns a spanning tree; on a disconnected graph a
 /// spanning forest.
 pub fn kruskal(g: &WeightedGraph) -> Mst {
-    let mut order: Vec<EdgeId> = (0..g.m() as u32).map(EdgeId).collect();
+    let all: Vec<EdgeId> = (0..g.m() as u32).map(EdgeId).collect();
+    kruskal_on(g, &all)
+}
+
+/// Kruskal restricted to an edge subset: the lightest spanning forest of
+/// the subgraph `(V, edges)`, preserving its connected components, with
+/// the same deterministic `(weight, edge id)` tie-breaking as [`kruskal`].
+pub fn kruskal_on(g: &WeightedGraph, edges: &[EdgeId]) -> Mst {
+    let mut order: Vec<EdgeId> = edges.to_vec();
     order.sort_by_key(|&e| (g.weight(e), e));
     let mut uf = UnionFind::new(g.n());
-    let mut edges = Vec::with_capacity(g.n().saturating_sub(1));
+    let mut kept = Vec::with_capacity(g.n().saturating_sub(1));
     let mut weight = 0;
     for e in order {
         let ed = g.edge(e);
         if uf.union(ed.u.idx(), ed.v.idx()) {
-            edges.push(e);
+            kept.push(e);
             weight += ed.w;
-            if edges.len() + 1 == g.n() {
+            if kept.len() + 1 == g.n() {
                 break;
             }
         }
     }
-    Mst { edges, weight }
+    Mst {
+        edges: kept,
+        weight,
+    }
 }
 
 #[cfg(test)]
@@ -57,6 +68,25 @@ mod tests {
         let mst = kruskal(&g);
         assert_eq!(mst.weight, 6);
         assert_eq!(mst.edges.len(), 3);
+    }
+
+    #[test]
+    fn kruskal_on_subset_preserves_components() {
+        // Square 0-1-2-3-0: restricted to three edges forming a path plus
+        // nothing else, the subset MST keeps exactly the acyclic part.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 3).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 4).unwrap();
+        let g = b.build().unwrap();
+        // A cycle-closing subset drops only its heaviest edge...
+        let all = kruskal_on(&g, &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+        assert_eq!(all.edges, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        // ...and a disconnected subset stays disconnected (no edge 1).
+        let split = kruskal_on(&g, &[EdgeId(0), EdgeId(2)]);
+        assert_eq!(split.edges, vec![EdgeId(0), EdgeId(2)]);
+        assert_eq!(split.weight, 4);
     }
 
     #[test]

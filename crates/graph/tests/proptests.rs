@@ -189,4 +189,78 @@ proptest! {
         }
         prop_assert_eq!(uf.num_sets(), 1);
     }
+
+    #[test]
+    fn sample_nodes_is_a_duplicate_free_sorted_subset(
+        seed in 0u64..500,
+        n in 1usize..60,
+        frac in 0usize..=100,
+    ) {
+        // Any count in 0..=n (both boundaries included) yields exactly
+        // `count` distinct, sorted, in-range nodes, deterministically.
+        let count = n * frac / 100;
+        let s = generators::sample_nodes(n, count, seed);
+        prop_assert_eq!(s.len(), count);
+        let distinct: BTreeSet<NodeId> = s.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), count, "duplicates in sample");
+        for w in s.windows(2) {
+            prop_assert!(w[0] < w[1], "sample not strictly sorted");
+        }
+        prop_assert!(s.iter().all(|v| v.idx() < n));
+        prop_assert_eq!(s, generators::sample_nodes(n, count, seed));
+    }
+
+    #[test]
+    fn sample_nodes_boundary_counts(seed in 0u64..500, n in 1usize..60) {
+        // count == 0: empty. count == n: the full, sorted node range.
+        prop_assert!(generators::sample_nodes(n, 0, seed).is_empty());
+        let all = generators::sample_nodes(n, n, seed);
+        let expect: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn tree_with_noise_connectivity_and_edge_count(
+        seed in 0u64..300,
+        n in 1usize..40,
+        noise in 0usize..20,
+    ) {
+        let g = generators::tree_with_noise(n, noise, 9, seed);
+        prop_assert!(g.is_connected());
+        // Tree skeleton plus at most `noise` extras, never beyond simple.
+        prop_assert!(g.m() >= n.saturating_sub(1));
+        prop_assert!(g.m() <= (n.saturating_sub(1) + noise).min(n * n.saturating_sub(1) / 2));
+    }
+
+    #[test]
+    fn barbell_connectivity(seed in 0u64..300, clique in 1usize..8, bridge in 0usize..10) {
+        let g = generators::barbell(clique, bridge, 7, seed);
+        prop_assert_eq!(g.n(), 2 * clique + bridge);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.m(), clique * (clique - 1) + bridge + 1);
+    }
+
+    #[test]
+    fn clustered_geometric_connectivity(
+        seed in 0u64..300,
+        clusters in 1usize..6,
+        per in 1usize..8,
+    ) {
+        let g = generators::clustered_geometric(clusters, per, seed);
+        prop_assert_eq!(g.n(), clusters * per);
+        prop_assert!(g.is_connected());
+        let intra = clusters * per * (per - 1) / 2;
+        prop_assert_eq!(g.m(), intra + (clusters - 1));
+    }
+
+    #[test]
+    fn heavy_tailed_connectivity_and_caps(
+        seed in 0u64..300,
+        n in 1usize..40,
+        cap in 1u64..100_000,
+    ) {
+        let g = generators::heavy_tailed(n, 0.12, 2.0, cap, seed);
+        prop_assert!(g.is_connected());
+        prop_assert!(g.edges().iter().all(|e| (1..=cap.max(1)).contains(&e.w)));
+    }
 }

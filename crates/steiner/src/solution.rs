@@ -68,6 +68,18 @@ impl ForestSolution {
         ForestSolution::from_edges(edges)
     }
 
+    /// The lightest spanning forest of this edge set: same connected
+    /// components (hence feasibility is preserved), cycles broken by
+    /// dropping the heaviest edges ([`dsf_graph::mst::kruskal_on`]'s
+    /// deterministic order). Identity on forests.
+    ///
+    /// Solvers that union overlapping trees (the randomized second stage,
+    /// the Khan baseline's per-component selection) use this to restore
+    /// the forest invariant before returning.
+    pub fn lightest_spanning_forest(&self, g: &WeightedGraph) -> ForestSolution {
+        ForestSolution::from_edges(dsf_graph::mst::kruskal_on(g, &self.edges).edges)
+    }
+
     /// The minimal subset of this (feasible, forest) solution that still
     /// solves `inst`: an edge is kept iff its removal would disconnect two
     /// terminals of the same component *within its tree*.

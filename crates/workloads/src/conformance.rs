@@ -1,0 +1,472 @@
+//! The differential oracle harness.
+//!
+//! One reusable layer of checks shared by the root `tests/conformance.rs`
+//! tier, `bench_runner --conformance`, and the integration/property suites
+//! (which previously each carried their own copy-pasted assertions):
+//!
+//! * **feasibility** — every demand pair connected, output acyclic
+//!   ([`check_feasible_forest`]);
+//! * **ratio** — solver weight against the entry's [`crate::Certificate`]
+//!   ([`check_ratio_le`]): `W(det) ≤ 2·OPT` (Theorem 4.17, tie slack per
+//!   the Section 2 unique-weight assumption), `W(moat) ≤ 2·dual`
+//!   (Theorem 4.1), `W(rounded) ≤ (2+ε)·OPT` (Theorem D.2),
+//!   `W(randomized) ≤ O(log n)·OPT` (Theorem 5.2), and every feasible
+//!   output weighs at least the certified lower bound;
+//! * **differential** — the distributed deterministic solver must replay
+//!   the centralized Algorithm 1 merge-for-merge (Lemma 4.13,
+//!   [`check_merge_agreement`]);
+//! * **determinism** — repeated seeded runs must be bit-identical
+//!   (forest, rounds, messages, bits);
+//! * **CONGEST compliance** — every [`RoundLedger`] entry respects the
+//!   `B`-bit per-edge budget ([`check_ledger_budget`]).
+//!
+//! Checks come in two flavors: `check_*` returns `Result`/`Vec` for
+//! violation collection (bench reporting, proptests), `assert_*` panics
+//! with context (integration tests).
+
+use dsf_baselines::khan::{solve_khan, KhanConfig};
+use dsf_baselines::solve_collect_at_root;
+use dsf_congest::{CongestConfig, RoundLedger, SimError};
+use dsf_core::det::{solve_deterministic, DetConfig, DetOutput};
+use dsf_core::randomized::{solve_randomized, RandConfig};
+use dsf_graph::dyadic::Dyadic;
+use dsf_graph::{NodeId, Weight, WeightedGraph};
+use dsf_steiner::moat::MoatRun;
+use dsf_steiner::{moat, moat_rounded, ForestSolution, Instance};
+
+use crate::corpus::CorpusEntry;
+
+/// Checks that `f` connects every demand component and is acyclic.
+///
+/// # Errors
+///
+/// Returns a description of the first violated condition.
+pub fn check_feasible_forest(
+    g: &WeightedGraph,
+    inst: &Instance,
+    f: &ForestSolution,
+) -> Result<(), String> {
+    if !inst.is_feasible(g, f) {
+        return Err("solution leaves a demand pair disconnected".into());
+    }
+    if !f.is_forest(g) {
+        return Err("solution contains a cycle".into());
+    }
+    Ok(())
+}
+
+/// Panicking flavor of [`check_feasible_forest`] for test suites.
+///
+/// # Panics
+///
+/// Panics with `ctx` if the solution is infeasible or cyclic.
+pub fn assert_feasible_forest(g: &WeightedGraph, inst: &Instance, f: &ForestSolution, ctx: &str) {
+    if let Err(e) = check_feasible_forest(g, inst, f) {
+        panic!("{ctx}: {e}");
+    }
+}
+
+/// Checks `weight ≤ factor · base` (with absolute slack `slack` for
+/// integer-tie effects).
+///
+/// # Errors
+///
+/// Returns the violated inequality, spelled out.
+pub fn check_ratio_le(weight: Weight, factor: f64, base: f64, slack: f64) -> Result<(), String> {
+    let bound = factor * base + slack;
+    if (weight as f64) <= bound + 1e-9 {
+        Ok(())
+    } else {
+        Err(format!(
+            "weight {weight} exceeds {factor} x {base} + {slack} = {bound:.3}"
+        ))
+    }
+}
+
+/// Panicking flavor of [`check_ratio_le`].
+///
+/// # Panics
+///
+/// Panics with `ctx` if the ratio bound is violated.
+pub fn assert_ratio_le(weight: Weight, factor: f64, base: f64, ctx: &str) {
+    if let Err(e) = check_ratio_le(weight, factor, base, 0.0) {
+        panic!("{ctx}: {e}");
+    }
+}
+
+/// The `O(log n)` factor asserted for the randomized solver
+/// (Theorem 5.2 with the constant used throughout the experiments).
+pub fn randomized_log_factor(n: usize) -> f64 {
+    3.0 * (n as f64).ln()
+}
+
+/// The (looser) `O(log n)` factor for the Khan et al. baseline, whose
+/// per-component selection repeats the embedding lottery independently.
+pub fn khan_log_factor(n: usize) -> f64 {
+    6.0 * (n as f64).ln()
+}
+
+/// Merge endpoints of the distributed deterministic run, in merge order.
+pub fn det_merge_pairs(out: &DetOutput) -> Vec<(NodeId, NodeId)> {
+    out.merges.iter().map(|m| (m.v, m.w)).collect()
+}
+
+/// Merge endpoints of a centralized moat run, in merge order.
+pub fn moat_merge_pairs(run: &MoatRun) -> Vec<(NodeId, NodeId)> {
+    run.merges.iter().map(|m| (m.v, m.w)).collect()
+}
+
+/// Lemma 4.13: the distributed deterministic solver replays the
+/// centralized Algorithm 1 merge sequence exactly, and the realized
+/// weights agree up to shortest-path tie slack (Section 2's unique-weight
+/// assumption does not hold for integer weights).
+///
+/// # Errors
+///
+/// Returns which of the two agreements failed.
+pub fn check_merge_agreement(
+    g: &WeightedGraph,
+    det: &DetOutput,
+    central: &MoatRun,
+) -> Result<(), String> {
+    if det_merge_pairs(det) != moat_merge_pairs(central) {
+        return Err(format!(
+            "merge sequences diverge: {:?} vs {:?}",
+            det_merge_pairs(det),
+            moat_merge_pairs(central)
+        ));
+    }
+    let (dw, cw) = (det.forest.weight(g) as f64, central.forest.weight(g) as f64);
+    if (dw - cw).abs() > tie_slack(cw) {
+        return Err(format!("weights diverge beyond tie slack: {dw} vs {cw}"));
+    }
+    Ok(())
+}
+
+/// The absolute slack allowed between two realizations of the same merge
+/// sequence over equal-weight shortest-path ties.
+pub fn tie_slack(central_weight: f64) -> f64 {
+    0.15 * central_weight + 2.0
+}
+
+/// Checks the CONGEST bandwidth invariants on every ledger entry: a stage
+/// delivering `messages` messages of at most `bandwidth_bits` bits each
+/// can carry at most `messages · B` bits, and the metered-cut traffic is a
+/// subset of all traffic.
+///
+/// Returns one description per violated entry (empty = compliant).
+pub fn check_ledger_budget(ledger: &RoundLedger, bandwidth_bits: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    for e in ledger.entries() {
+        if e.bits > e.messages * bandwidth_bits as u64 {
+            violations.push(format!(
+                "stage {:?}: {} bits exceed {} messages x B={} bits",
+                e.label, e.bits, e.messages, bandwidth_bits
+            ));
+        }
+        if e.cut_bits > e.bits {
+            violations.push(format!(
+                "stage {:?}: cut_bits {} exceed total bits {}",
+                e.label, e.cut_bits, e.bits
+            ));
+        }
+    }
+    violations
+}
+
+/// Panicking flavor of [`check_ledger_budget`].
+///
+/// # Panics
+///
+/// Panics with `ctx` on the first over-budget ledger entry.
+pub fn assert_ledger_budget(ledger: &RoundLedger, bandwidth_bits: usize, ctx: &str) {
+    let v = check_ledger_budget(ledger, bandwidth_bits);
+    assert!(v.is_empty(), "{ctx}: {v:?}");
+}
+
+/// One solver's result on a corpus entry.
+#[derive(Debug, Clone)]
+pub struct SolverRecord {
+    /// Solver name (`det`, `randomized`, `khan`, `moat`, `moat_rounded`).
+    pub solver: &'static str,
+    /// Weight of the returned forest.
+    pub weight: Weight,
+}
+
+/// The oracle's verdict on one corpus entry.
+#[derive(Debug, Clone)]
+pub struct EntryOutcome {
+    /// The entry's id.
+    pub id: String,
+    /// Per-solver weights, in a stable order.
+    pub records: Vec<SolverRecord>,
+    /// Everything that failed (empty = conformant).
+    pub violations: Vec<String>,
+}
+
+/// One distributed run reduced to the fields the oracle compares.
+type DistRun = Result<(ForestSolution, RoundLedger), SimError>;
+
+/// A fingerprint of one run for bit-identical determinism checks.
+fn fingerprint(forest: &ForestSolution, ledger: &RoundLedger) -> (Vec<u32>, u64, u64, u64) {
+    (
+        forest.edges().iter().map(|e| e.0).collect(),
+        ledger.total(),
+        ledger.messages(),
+        ledger.bits(),
+    )
+}
+
+/// Runs every solver on `entry` and applies the full oracle.
+///
+/// Never panics on a conformance failure — violations are collected so a
+/// sweep can report all of them; simulator errors are violations too.
+pub fn check_entry(entry: &CorpusEntry) -> EntryOutcome {
+    let g = &entry.graph;
+    let inst = &entry.instance;
+    let cert = &entry.certificate;
+    let upper = cert.upper as f64;
+    let bandwidth = CongestConfig::for_graph(g).bandwidth_bits;
+    let mut records = Vec::new();
+    let mut violations = Vec::new();
+    let violate = |solver: &str, what: String| format!("[{solver}] {what}");
+
+    // Common per-solver checks: feasibility, forest-ness, the certified
+    // lower bound (any feasible forest weighs at least OPT ≥ lower), and
+    // the solver-specific upper ratio.
+    let mut base_checks = |solver: &'static str,
+                           forest: &ForestSolution,
+                           factor: f64,
+                           slack: f64,
+                           violations: &mut Vec<String>| {
+        let w = forest.weight(g);
+        if let Err(e) = check_feasible_forest(g, inst, forest) {
+            violations.push(violate(solver, e));
+        }
+        if (w as f64) < cert.lower - 1e-6 {
+            violations.push(violate(
+                solver,
+                format!("weight {w} below certified lower bound {}", cert.lower),
+            ));
+        }
+        if let Err(e) = check_ratio_le(w, factor, upper, slack) {
+            violations.push(violate(solver, e));
+        }
+        records.push(SolverRecord { solver, weight: w });
+    };
+
+    // Centralized Algorithm 1: 2-approximation via the primal-dual bound.
+    let central = moat::grow(g, inst);
+    {
+        let w = central.forest.weight(g);
+        if let Err(e) = check_ratio_le(w, 2.0, central.dual.to_f64(), 0.0) {
+            violations.push(violate("moat", format!("primal-dual bound: {e}")));
+        }
+        if central.dual.to_f64() > upper + 1e-6 {
+            violations.push(violate(
+                "moat",
+                format!(
+                    "dual {} exceeds certified upper {upper}",
+                    central.dual.to_f64()
+                ),
+            ));
+        }
+        base_checks("moat", &central.forest, 2.0, 0.0, &mut violations);
+    }
+
+    // Centralized Algorithm 2 (rounded radii): (2+ε) with ε = 1/2.
+    let rounded = moat_rounded::grow_rounded(g, inst, Dyadic::new(1, 1));
+    base_checks("moat_rounded", &rounded.forest, 2.5, 0.0, &mut violations);
+
+    // Shared distributed-solver protocol: run twice, check bit-identical
+    // determinism and the ledger budget, and hand the first run back for
+    // the solver-specific checks (None on simulator error).
+    let dual_run = |solver: &'static str,
+                    runs: (DistRun, DistRun),
+                    violations: &mut Vec<String>|
+     -> Option<(ForestSolution, RoundLedger)> {
+        match runs {
+            (Ok(a), Ok(b)) => {
+                if fingerprint(&a.0, &a.1) != fingerprint(&b.0, &b.1) {
+                    violations.push(violate(
+                        solver,
+                        "repeated seeded runs are not bit-identical".into(),
+                    ));
+                }
+                for v in check_ledger_budget(&a.1, bandwidth) {
+                    violations.push(violate(solver, v));
+                }
+                Some(a)
+            }
+            (r1, r2) => {
+                violations.push(violate(
+                    solver,
+                    format!("simulator error: {:?}", r1.err().or(r2.err())),
+                ));
+                None
+            }
+        }
+    };
+
+    // Distributed deterministic (Theorem 4.17): differential vs Algorithm
+    // 1, 2·OPT with tie slack, determinism, ledger budget.
+    let det_runs = (
+        solve_deterministic(g, inst, &DetConfig::default()),
+        solve_deterministic(g, inst, &DetConfig::default()),
+    );
+    if let (Ok(det), _) | (_, Ok(det)) = (&det_runs.0, &det_runs.1) {
+        if let Err(e) = check_merge_agreement(g, det, &central) {
+            violations.push(violate("det", e));
+        }
+    }
+    let det_runs = (
+        det_runs.0.map(|o| (o.forest, o.rounds)),
+        det_runs.1.map(|o| (o.forest, o.rounds)),
+    );
+    if let Some((forest, _)) = dual_run("det", det_runs, &mut violations) {
+        let central_w = central.forest.weight(g) as f64;
+        base_checks("det", &forest, 2.0, tie_slack(central_w), &mut violations);
+    }
+
+    // Distributed randomized (Theorem 5.2): O(log n)·OPT, seeded
+    // determinism, ledger budget.
+    let rand_runs = (
+        solve_randomized(g, inst, &RandConfig::default()).map(|o| (o.forest, o.rounds)),
+        solve_randomized(g, inst, &RandConfig::default()).map(|o| (o.forest, o.rounds)),
+    );
+    if let Some((forest, _)) = dual_run("randomized", rand_runs, &mut violations) {
+        base_checks(
+            "randomized",
+            &forest,
+            randomized_log_factor(g.n()),
+            0.0,
+            &mut violations,
+        );
+    }
+
+    // Khan et al. baseline: feasibility, seeded determinism, budget, and
+    // the looser O(log n) embedding bound.
+    let khan_runs = (
+        solve_khan(g, inst, &KhanConfig::default()).map(|o| (o.forest, o.rounds)),
+        solve_khan(g, inst, &KhanConfig::default()).map(|o| (o.forest, o.rounds)),
+    );
+    if let Some((forest, _)) = dual_run("khan", khan_runs, &mut violations) {
+        base_checks(
+            "khan",
+            &forest,
+            khan_log_factor(g.n()),
+            0.0,
+            &mut violations,
+        );
+    }
+
+    // Collect-at-root sanity baseline: must reproduce Algorithm 1 exactly.
+    match solve_collect_at_root(g, inst) {
+        Ok(collect) => {
+            if collect.forest != central.forest {
+                violations.push(violate(
+                    "collect",
+                    "collect-at-root diverges from centralized Algorithm 1".into(),
+                ));
+            }
+            for v in check_ledger_budget(&collect.rounds, bandwidth) {
+                violations.push(violate("collect", v));
+            }
+        }
+        Err(e) => violations.push(violate("collect", format!("simulator error: {e:?}"))),
+    }
+
+    EntryOutcome {
+        id: entry.id.clone(),
+        records,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsf_congest::RunMetrics;
+    use dsf_graph::{generators, EdgeId};
+    use dsf_steiner::InstanceBuilder;
+
+    #[test]
+    fn feasibility_check_flags_disconnection_and_cycles() {
+        let g = generators::path(4, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(3)])
+            .build()
+            .unwrap();
+        let partial = ForestSolution::from_edges(vec![EdgeId(0)]);
+        assert!(check_feasible_forest(&g, &inst, &partial).is_err());
+        let full = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert!(check_feasible_forest(&g, &inst, &full).is_ok());
+        // A cycle is rejected even when feasible.
+        let ring = generators::ring(4, 3, 0);
+        let ring_inst = InstanceBuilder::new(&ring)
+            .component(&[NodeId(0), NodeId(2)])
+            .build()
+            .unwrap();
+        let cyclic: ForestSolution = (0..4).map(EdgeId).collect();
+        assert!(check_feasible_forest(&ring, &ring_inst, &cyclic).is_err());
+    }
+
+    #[test]
+    fn ratio_check_boundaries() {
+        assert!(check_ratio_le(10, 2.0, 5.0, 0.0).is_ok());
+        assert!(check_ratio_le(11, 2.0, 5.0, 0.0).is_err());
+        assert!(check_ratio_le(11, 2.0, 5.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn ledger_budget_flags_overflow_and_cut_excess() {
+        let mut ledger = RoundLedger::new();
+        ledger.record(
+            "ok",
+            &RunMetrics {
+                rounds: 2,
+                messages: 10,
+                total_bits: 320,
+                max_message_bits: 32,
+                cut_bits: 100,
+            },
+        );
+        assert!(check_ledger_budget(&ledger, 32).is_empty());
+        ledger.record(
+            "over",
+            &RunMetrics {
+                rounds: 1,
+                messages: 2,
+                total_bits: 100,
+                max_message_bits: 50,
+                cut_bits: 0,
+            },
+        );
+        ledger.record(
+            "cut",
+            &RunMetrics {
+                rounds: 1,
+                messages: 4,
+                total_bits: 64,
+                max_message_bits: 16,
+                cut_bits: 65,
+            },
+        );
+        let v = check_ledger_budget(&ledger, 32);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].contains("over"));
+        assert!(v[1].contains("cut"));
+    }
+
+    #[test]
+    fn check_entry_accepts_a_known_good_instance() {
+        let entries = crate::corpus::corpus(crate::corpus::Tier::Quick);
+        let outcome = check_entry(&entries[0]);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+        let solvers: Vec<&str> = outcome.records.iter().map(|r| r.solver).collect();
+        assert_eq!(
+            solvers,
+            vec!["moat", "moat_rounded", "det", "randomized", "khan"]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The conformance lab: a seeded, enumerable instance corpus plus a
+//! differential oracle harness that every Steiner forest solver in the
+//! workspace must pass.
+//!
+//! The paper's headline claim — a deterministic `(2+ε)`-approximation in
+//! CONGEST (Lenzen & Patt-Shamir, PODC 2014) — is only as believable as
+//! the instances it is checked on. This crate systematizes that check:
+//!
+//! * [`corpus`] — crosses the graph families of [`dsf_graph::generators`]
+//!   (including the adversarial ones added for this lab: trees with noise
+//!   edges, barbell/expander-bridge, clustered-geometric, heavy-tailed
+//!   weights) with demand-pair patterns (matched clusters, long-range
+//!   pairs, overlapping terminal groups, singleton spam). Every
+//!   [`corpus::CorpusEntry`] is deterministic per seed and carries a
+//!   [`Certificate`].
+//! * [`Certificate`] — the per-instance ground truth: the exact optimum
+//!   from [`dsf_steiner::exact`] where it is tractable, otherwise a
+//!   *checked sandwich* `lower ≤ OPT ≤ upper` from the moat dual and the
+//!   per-component distance bound (lower) and MST-of-terminals in the
+//!   metric closure (upper).
+//! * [`conformance`] — the oracle layer: runs the deterministic,
+//!   randomized, Khan-baseline and moat solvers on an entry and checks
+//!   feasibility, forest-ness, the paper's ratio bounds against the
+//!   certificate, bit-identical determinism across repeated seeded runs,
+//!   and the CONGEST `B`-bit per-edge budget on every ledger entry. The
+//!   same helpers back the root integration/property suites, replacing
+//!   their formerly copy-pasted assertions.
+//!
+//! # Example
+//!
+//! ```
+//! use dsf_workloads::conformance;
+//! use dsf_workloads::corpus::{corpus, Tier};
+//!
+//! let entries = corpus(Tier::Quick);
+//! assert!(entries.len() >= 8);
+//! let outcome = conformance::check_entry(&entries[0]);
+//! assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+//! ```
+
+pub mod conformance;
+pub mod corpus;
+
+mod certificate;
+
+pub use certificate::{Certificate, CertificateKind};

@@ -22,6 +22,9 @@
 //!   baseline.
 //! * [`lower_bounds`] — the Section 3 Set-Disjointness gadgets and cut
 //!   communication experiments.
+//! * [`workloads`] — the conformance lab: seeded instance corpus with
+//!   per-instance certificates and the differential oracle harness every
+//!   solver must pass.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@ pub use dsf_embed as embed;
 pub use dsf_graph as graph;
 pub use dsf_lower_bounds as lower_bounds;
 pub use dsf_steiner as steiner;
+pub use dsf_workloads as workloads;
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {

@@ -1,0 +1,173 @@
+//! The conformance tier: every solver against the full quick corpus
+//! (8 graph families × 4 demand patterns), with per-instance certificates.
+//!
+//! For each entry the oracle (`workloads::conformance`) asserts:
+//! feasibility and forest-ness of every output, the paper's ratio bounds
+//! against the certificate (det ≤ 2·OPT with tie slack, moat ≤ 2·dual,
+//! rounded ≤ (2+ε)·OPT, randomized/Khan ≤ O(log n)·OPT), the Lemma 4.13
+//! merge-for-merge agreement between the distributed deterministic solver
+//! and centralized Algorithm 1, bit-identical determinism across repeated
+//! seeded runs, and the CONGEST `B`-bit per-edge bandwidth budget on every
+//! round-ledger stage.
+
+use steiner_forest::congest::{run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics};
+use steiner_forest::prelude::*;
+use steiner_forest::workloads::conformance::{self, check_entry};
+use steiner_forest::workloads::corpus::{corpus, Tier, FAMILIES, PATTERNS};
+use steiner_forest::workloads::CertificateKind;
+
+#[test]
+fn corpus_covers_the_family_pattern_matrix() {
+    let entries = corpus(Tier::Quick);
+    // Acceptance floor: at least 8 family × pattern combinations; the
+    // quick tier actually crosses all 8 families with all 4 patterns.
+    let mut combos: Vec<(&str, &str)> = entries.iter().map(|e| (e.family, e.pattern)).collect();
+    combos.sort_unstable();
+    combos.dedup();
+    assert!(combos.len() >= 8, "only {} combinations", combos.len());
+    assert_eq!(combos.len(), FAMILIES.len() * PATTERNS.len());
+    // Both certificate kinds are exercised in CI.
+    assert!(entries
+        .iter()
+        .any(|e| e.certificate.kind == CertificateKind::Exact));
+    assert!(entries
+        .iter()
+        .any(|e| e.certificate.kind == CertificateKind::Sandwich));
+}
+
+#[test]
+fn all_solvers_conform_on_the_quick_corpus() {
+    let mut checked = 0;
+    for entry in corpus(Tier::Quick) {
+        let outcome = check_entry(&entry);
+        assert!(
+            outcome.violations.is_empty(),
+            "{}: {:#?}",
+            entry.id,
+            outcome.violations
+        );
+        // All four distributed/centralized solvers produced a record.
+        let solvers: Vec<&str> = outcome.records.iter().map(|r| r.solver).collect();
+        assert_eq!(
+            solvers,
+            vec!["moat", "moat_rounded", "det", "randomized", "khan"],
+            "{}",
+            entry.id
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, FAMILIES.len() * PATTERNS.len());
+}
+
+/// A one-token flood, the minimal protocol that touches every edge.
+#[derive(Clone, Debug)]
+struct Token;
+
+impl Message for Token {
+    fn encoded_bits(&self) -> usize {
+        8
+    }
+}
+
+struct Flood {
+    have: bool,
+    sent: bool,
+}
+
+impl Protocol for Flood {
+    type Msg = Token;
+
+    fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Token>) {
+        if ctx.id == NodeId(0) {
+            self.have = true;
+            out.send_all(ctx, Token);
+            self.sent = true;
+        }
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Token)], out: &mut Outbox<Token>) {
+        if !inbox.is_empty() {
+            self.have = true;
+        }
+        if self.have && !self.sent {
+            out.send_all(ctx, Token);
+            self.sent = true;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.have
+    }
+}
+
+fn budget_invariants(metrics: &RunMetrics, bandwidth_bits: usize, ctx: &str) {
+    assert!(
+        metrics.max_message_bits <= bandwidth_bits,
+        "{ctx}: a {}-bit message exceeded B = {bandwidth_bits}",
+        metrics.max_message_bits
+    );
+    assert!(
+        metrics.total_bits <= metrics.messages * bandwidth_bits as u64,
+        "{ctx}: {} bits over {} messages exceed the per-message budget",
+        metrics.total_bits,
+        metrics.messages
+    );
+    assert!(
+        metrics.cut_bits <= metrics.total_bits,
+        "{ctx}: metered-cut bits exceed total bits"
+    );
+}
+
+#[test]
+fn congest_bandwidth_budget_holds_across_the_corpus() {
+    for entry in corpus(Tier::Quick) {
+        let g = &entry.graph;
+        let cfg = CongestConfig::for_graph(g);
+
+        // Raw executor replay: a full-coverage flood over the corpus graph.
+        let nodes = g
+            .nodes()
+            .map(|_| Flood {
+                have: false,
+                sent: false,
+            })
+            .collect();
+        let res = run(g, nodes, &cfg).unwrap();
+        assert!(
+            res.states.iter().all(|s| s.have),
+            "{}: flood died",
+            entry.id
+        );
+        budget_invariants(&res.metrics, cfg.bandwidth_bits, &entry.id);
+
+        // Solver replay: every ledger stage respects the per-edge budget
+        // (`bits`/`cut_bits` were recorded from day one but never
+        // asserted). The full per-solver sweep lives in `check_entry`
+        // (asserted by `all_solvers_conform_on_the_quick_corpus`); here
+        // one solver run suffices to pin the ledger-level invariant with
+        // a dedicated, debuggable failure.
+        let det = solve_deterministic(g, &entry.instance, &DetConfig::default()).unwrap();
+        conformance::assert_ledger_budget(&det.rounds, cfg.bandwidth_bits, &entry.id);
+        assert!(
+            det.rounds.simulated() > 0,
+            "{}: nothing simulated",
+            entry.id
+        );
+    }
+}
+
+#[test]
+fn certificates_are_internally_consistent() {
+    for entry in corpus(Tier::Quick) {
+        let cert = &entry.certificate;
+        assert!(
+            cert.lower <= cert.upper as f64 + 1e-9,
+            "{}: inverted certificate",
+            entry.id
+        );
+        if cert.kind == CertificateKind::Exact {
+            assert_eq!(cert.lower, cert.upper as f64, "{}", entry.id);
+        }
+        assert!(cert.upper > 0, "{}: demand implies positive OPT", entry.id);
+    }
+}

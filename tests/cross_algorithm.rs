@@ -3,6 +3,10 @@
 //!
 //! `dual ≤ OPT ≤ W(det) ≤ 2·OPT`, `W(growth) ≤ (2+ε)·OPT`,
 //! `W(randomized) ≤ O(log n)·OPT`, and all outputs feasible.
+//!
+//! The assertions themselves live in `workloads::conformance` — the same
+//! oracle layer the corpus tier (`tests/conformance.rs`) and
+//! `bench_runner --conformance` run.
 
 use steiner_forest::baselines::khan::{solve_khan, KhanConfig};
 use steiner_forest::baselines::solve_collect_at_root;
@@ -10,6 +14,10 @@ use steiner_forest::core::det::{solve_growth, GrowthConfig};
 use steiner_forest::graph::dyadic::Dyadic;
 use steiner_forest::prelude::*;
 use steiner_forest::steiner::{exact, moat, random_instance};
+use steiner_forest::workloads::conformance::{
+    assert_feasible_forest, assert_ledger_budget, assert_ratio_le, det_merge_pairs,
+    moat_merge_pairs, randomized_log_factor,
+};
 
 fn suite() -> Vec<(WeightedGraph, Instance)> {
     let mut cases = Vec::new();
@@ -32,52 +40,50 @@ fn suite() -> Vec<(WeightedGraph, Instance)> {
 #[test]
 fn inequality_chain_holds_everywhere() {
     for (i, (g, inst)) in suite().into_iter().enumerate() {
+        let ctx = format!("case {i}");
         let opt = exact::solve(&g, &inst).weight as f64;
         let central = moat::grow(&g, &inst);
         let dual = central.dual.to_f64();
-        assert!(dual <= opt + 1e-9, "case {i}: dual {dual} > OPT {opt}");
+        assert!(dual <= opt + 1e-9, "{ctx}: dual {dual} > OPT {opt}");
 
         let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
-        let wd = det.forest.weight(&g) as f64;
-        assert!(
-            inst.is_feasible(&g, &det.forest),
-            "case {i}: det infeasible"
-        );
-        assert!(
-            opt <= wd + 1e-9 && wd <= 2.0 * opt + 1e-9,
-            "case {i}: det ratio"
-        );
+        let wd = det.forest.weight(&g);
+        assert_feasible_forest(&g, &inst, &det.forest, &format!("{ctx}: det"));
+        assert!(opt <= wd as f64 + 1e-9, "{ctx}: det below OPT");
+        assert_ratio_le(wd, 2.0, opt, &format!("{ctx}: det ratio"));
 
         let growth = solve_growth(&g, &inst, &GrowthConfig::default()).unwrap();
-        let wg = growth.forest.weight(&g) as f64;
-        assert!(
-            inst.is_feasible(&g, &growth.forest),
-            "case {i}: growth infeasible"
+        assert_feasible_forest(&g, &inst, &growth.forest, &format!("{ctx}: growth"));
+        assert_ratio_le(
+            growth.forest.weight(&g),
+            2.5,
+            opt,
+            &format!("{ctx}: growth ratio"),
         );
-        assert!(wg <= 2.5 * opt + 1e-9, "case {i}: growth ratio {wg}/{opt}");
 
         let rand = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
-        let wr = rand.forest.weight(&g) as f64;
-        assert!(
-            inst.is_feasible(&g, &rand.forest),
-            "case {i}: rand infeasible"
+        assert_feasible_forest(&g, &inst, &rand.forest, &format!("{ctx}: rand"));
+        assert_ratio_le(
+            rand.forest.weight(&g),
+            randomized_log_factor(g.n()),
+            opt,
+            &format!("{ctx}: rand ratio"),
         );
-        let log_bound = 3.0 * (g.n() as f64).ln();
-        assert!(wr <= log_bound * opt, "case {i}: rand ratio {}", wr / opt);
     }
 }
 
 #[test]
 fn baselines_agree_on_feasibility_and_quality() {
     for (i, (g, inst)) in suite().into_iter().enumerate() {
+        let ctx = format!("case {i}");
         let collect = solve_collect_at_root(&g, &inst).unwrap();
-        assert!(inst.is_feasible(&g, &collect.forest), "case {i}");
+        assert_feasible_forest(&g, &inst, &collect.forest, &format!("{ctx}: collect"));
         // Collect-at-root runs Algorithm 1 centrally: identical output.
         let central = moat::grow(&g, &inst);
-        assert_eq!(collect.forest, central.forest, "case {i}");
+        assert_eq!(collect.forest, central.forest, "{ctx}");
 
         let khan = solve_khan(&g, &inst, &KhanConfig::default()).unwrap();
-        assert!(inst.is_feasible(&g, &khan.forest), "case {i}");
+        assert_feasible_forest(&g, &inst, &khan.forest, &format!("{ctx}: khan"));
     }
 }
 
@@ -86,9 +92,11 @@ fn deterministic_equals_centralized_merge_for_merge() {
     for (i, (g, inst)) in suite().into_iter().enumerate() {
         let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
         let central = moat::grow(&g, &inst);
-        let dp: Vec<_> = det.merges.iter().map(|m| (m.v, m.w)).collect();
-        let cp: Vec<_> = central.merges.iter().map(|m| (m.v, m.w)).collect();
-        assert_eq!(dp, cp, "case {i}: merge sequences differ");
+        assert_eq!(
+            det_merge_pairs(&det),
+            moat_merge_pairs(&central),
+            "case {i}: merge sequences differ"
+        );
         assert_eq!(
             det.forest.weight(&g),
             central.forest.weight(&g),
@@ -141,6 +149,9 @@ fn ledgers_are_internally_consistent() {
     );
     assert!(det.rounds.simulated() > 0, "core stages must be simulated");
     assert!(det.rounds.messages() > 0);
+    // Every simulated stage respects the CONGEST bandwidth budget.
+    let b = CongestConfig::for_graph(&g).bandwidth_bits;
+    assert_ledger_budget(&det.rounds, b, "det ledger");
     // Phase structure appears in the ledger labels.
     let n_phases = det
         .rounds

@@ -4,6 +4,7 @@
 use steiner_forest::congest::CongestConfig;
 use steiner_forest::core::transforms;
 use steiner_forest::prelude::*;
+use steiner_forest::workloads::conformance::assert_feasible_forest;
 
 #[test]
 fn requests_to_solution_deterministic() {
@@ -25,7 +26,7 @@ fn requests_to_solution_deterministic() {
     assert!(minimal.is_minimal());
 
     let out = solve_deterministic(&g, &minimal, &DetConfig::default()).unwrap();
-    assert!(minimal.is_feasible(&g, &out.forest));
+    assert_feasible_forest(&g, &minimal, &out.forest, "deterministic pipeline");
     // The original requests are satisfied too.
     let comps = g.components_of(out.forest.edges());
     assert_eq!(comps[0], comps[9]);
@@ -45,6 +46,7 @@ fn requests_to_solution_randomized() {
     let congest = CongestConfig::for_graph(&g);
     let (inst, _) = transforms::cr_to_ic(&g, &cr, &congest).unwrap();
     let out = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
+    assert_feasible_forest(&g, &inst, &out.forest, "randomized pipeline");
     let comps = g.components_of(out.forest.edges());
     assert_eq!(comps[1], comps[25]);
     assert_eq!(comps[8], comps[14]);
@@ -80,5 +82,5 @@ fn truncated_randomized_on_high_s_graph() {
         .unwrap();
     let out = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
     assert!(out.truncated, "s > sqrt(n) must trigger truncation");
-    assert!(inst.is_feasible(&g, &out.forest));
+    assert_feasible_forest(&g, &inst, &out.forest, "truncated randomized");
 }

@@ -7,6 +7,9 @@ use proptest::prelude::*;
 use steiner_forest::graph::dyadic::Dyadic;
 use steiner_forest::prelude::*;
 use steiner_forest::steiner::{exact, moat, random_instance};
+use steiner_forest::workloads::conformance::{
+    check_feasible_forest, det_merge_pairs, moat_merge_pairs, tie_slack,
+};
 
 /// Strategy: a connected random graph plus a feasible instance spec.
 fn case() -> impl Strategy<Value = (u64, usize, f64, usize, usize)> {
@@ -28,9 +31,8 @@ proptest! {
         let g = generators::gnp_connected(n, p, 12, seed);
         let inst = random_instance(&g, k, cs, seed);
         let run = moat::grow(&g, &inst);
-        // Feasible forest.
-        prop_assert!(inst.is_feasible(&g, &run.forest));
-        prop_assert!(run.forest.is_forest(&g));
+        // Feasible forest (shared oracle check).
+        prop_assert!(check_feasible_forest(&g, &inst, &run.forest).is_ok());
         // Primal-dual certificate: W(F) < 2·dual (Theorem 4.1 proof).
         let w = run.forest.weight(&g) as f64;
         prop_assert!(w <= 2.0 * run.dual.to_f64() + 1e-9);
@@ -52,15 +54,13 @@ proptest! {
         // with integer weights, equal-weight shortest paths may be realized
         // differently by the two implementations, so weights get a small
         // tie slack while the merge log must match exactly.
-        let dp: Vec<_> = out.merges.iter().map(|m| (m.v, m.w)).collect();
-        let cp: Vec<_> = central.merges.iter().map(|m| (m.v, m.w)).collect();
-        prop_assert_eq!(dp, cp);
+        prop_assert_eq!(det_merge_pairs(&out), moat_merge_pairs(&central));
         let (dw, cw) = (out.forest.weight(&g) as f64, central.forest.weight(&g) as f64);
         prop_assert!(
-            (dw - cw).abs() <= 0.15 * cw + 2.0,
+            (dw - cw).abs() <= tie_slack(cw),
             "weights diverge beyond tie slack: {} vs {}", dw, cw
         );
-        prop_assert!(inst.is_feasible(&g, &out.forest));
+        prop_assert!(check_feasible_forest(&g, &inst, &out.forest).is_ok());
     }
 
     #[test]
@@ -69,7 +69,7 @@ proptest! {
         let g = generators::gnp_connected(n, p, 10, seed);
         let inst = random_instance(&g, k, cs, seed);
         let opt = exact::solve(&g, &inst);
-        prop_assert!(inst.is_feasible(&g, &opt.forest));
+        prop_assert!(check_feasible_forest(&g, &inst, &opt.forest).is_ok());
         let det = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
         prop_assert!(opt.weight <= det.forest.weight(&g));
         let rand = solve_randomized(&g, &inst, &RandConfig::default()).unwrap();
