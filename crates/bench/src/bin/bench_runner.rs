@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! bench_runner [--quick] [--out PATH] [--check BASELINE]   # executor mode
+//! bench_runner --scale [--quick] [--out PATH]              # scale mode
 //! bench_runner --conformance [--quick] [--out PATH]        # conformance mode
 //! ```
 //!
 //! **Executor mode** (default) times the execution engines and solvers and
 //! writes `BENCH_executor.json`. With `--check BASELINE` the deterministic
 //! metrics (n, m, rounds, messages, activations) are compared against the
-//! checked-in baseline and any drift exits non-zero; wall-clock is
-//! report-only. After an intentional change, regenerate the baseline by
-//! copying the fresh output over it.
+//! checked-in baseline and any drift exits non-zero; wall-clock, thread
+//! count, and speedup are report-only. After an intentional change,
+//! regenerate the baseline by copying the fresh output over it.
+//!
+//! **Scale mode** (`--scale`) runs the dense-gossip scaling tier: large
+//! path/grid/clustered graphs (n up to ~100k) through the single-threaded
+//! and sharded executors at worker-thread counts {1, 2, 4, 8}, asserting
+//! bit-identical deterministic metrics and reporting wall-clock speedups
+//! (`speedup_milli`). No baseline gates this mode — wall-clock is the
+//! product — so `--check` is rejected here.
 //!
 //! **Conformance mode** (`--conformance`) sweeps the corpus tier through
 //! the differential oracle (`dsf_workloads::conformance`), writes
@@ -27,18 +35,24 @@ use dsf_bench::perf::{self, BenchReport};
 
 const USAGE: &str = "\
 usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
+       bench_runner --scale [--quick] [--out PATH]
        bench_runner --conformance [--quick] [--out PATH]
 
-  --quick        CI smoke sizes (quick corpus tier in conformance mode)
+  --quick        CI smoke sizes (quick corpus tier in conformance mode,
+                 shrunken graphs in scale mode)
   --out PATH     output JSON path (default BENCH_executor.json, or
                  BENCH_conformance.json with --conformance)
   --check PATH   executor mode only: gate deterministic metrics against a
                  checked-in baseline report
+  --scale        run the sharded-executor scaling tier (large graphs,
+                 thread counts 1/2/4/8, speedup columns) instead of the
+                 executor micro-benchmarks
   --conformance  run the corpus conformance sweep instead of the executor
                  benchmarks";
 
 struct Args {
     quick: bool,
+    scale: bool,
     conformance: bool,
     out: Option<String>,
     check: Option<String>,
@@ -52,6 +66,7 @@ fn usage_error(msg: &str) -> ExitCode {
 fn parse(raw: &[String]) -> Result<Args, String> {
     let mut args = Args {
         quick: false,
+        scale: false,
         conformance: false,
         out: None,
         check: None,
@@ -68,14 +83,18 @@ fn parse(raw: &[String]) -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--scale" => args.scale = true,
             "--conformance" => args.conformance = true,
             "--out" => args.out = Some(path_value("--out", it.next())?),
             "--check" => args.check = Some(path_value("--check", it.next())?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if args.conformance && args.check.is_some() {
+    if (args.conformance || args.scale) && args.check.is_some() {
         return Err("--check applies to executor mode only".into());
+    }
+    if args.conformance && args.scale {
+        return Err("--scale and --conformance are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -143,7 +162,11 @@ fn run_executor(args: &Args) -> ExitCode {
         .out
         .clone()
         .unwrap_or_else(|| "BENCH_executor.json".into());
-    let report = perf::collect(args.quick);
+    let report = if args.scale {
+        perf::collect_scale(args.quick)
+    } else {
+        perf::collect(args.quick)
+    };
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -152,19 +175,25 @@ fn run_executor(args: &Args) -> ExitCode {
 
     println!("# bench_runner ({} mode) -> {out_path}\n", report.mode);
     println!(
-        "{:<44} {:>8} {:>8} {:>9} {:>11} {:>12} {:>12}",
-        "workload", "n", "m", "rounds", "messages", "activations", "mean wall"
+        "{:<44} {:>8} {:>8} {:>3} {:>9} {:>11} {:>12} {:>12} {:>8}",
+        "workload", "n", "m", "t", "rounds", "messages", "activations", "mean wall", "speedup"
     );
     for e in &report.entries {
+        let speedup = e
+            .speedup_milli
+            .map(|s| format!("{:.2}x", s as f64 / 1000.0))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<44} {:>8} {:>8} {:>9} {:>11} {:>12} {:>9.3} ms",
+            "{:<44} {:>8} {:>8} {:>3} {:>9} {:>11} {:>12} {:>9.3} ms {:>8}",
             e.name,
             e.n,
             e.m,
+            e.threads,
             e.rounds,
             e.messages,
             e.activations,
             e.wall_ns.mean as f64 / 1e6,
+            speedup,
         );
     }
 

@@ -1,39 +1,46 @@
 //! The executor perf harness behind `bench_runner`: deterministic
-//! micro-benchmarks of the two execution engines plus end-to-end solver
+//! micro-benchmarks of the execution engines plus end-to-end solver
 //! timings, emitted as machine-readable JSON (`BENCH_executor.json`).
 //!
 //! Every entry carries two kinds of numbers:
 //!
 //! * **deterministic work metrics** — `n`, `m`, `rounds`, `messages`, and
 //!   `activations` (executor `round()` invocations) are identical on every
-//!   machine and every run; CI gates on them (`bench_runner --check`);
-//! * **wall-clock** — min/mean/max nanoseconds over the repetitions;
+//!   machine, every run, and every worker-thread count; CI gates on them
+//!   (`bench_runner --check`);
+//! * **wall-clock and configuration** — `wall_ns` (min/mean/max
+//!   nanoseconds over the repetitions), `threads` (worker threads the
+//!   entry ran with), and `speedup_milli` (1000 × the min-wall speedup of
+//!   a sharded entry over its single-threaded twin; scale tier only) are
 //!   machine-dependent, report-only, tracked as a trajectory via the CI
 //!   artifact.
 //!
-//! # JSON schema (`dsf-bench-executor/v1`)
+//! # JSON schema (`dsf-bench-executor/v2`)
 //!
 //! ```json
 //! {
-//!   "schema": "dsf-bench-executor/v1",
+//!   "schema": "dsf-bench-executor/v2",
 //!   "mode": "quick",
 //!   "entries": [
 //!     {"name": "executor/bfs_wave/path/n=10000/event", "n": 10000,
-//!      "m": 9999, "rounds": 10000, "messages": 19998, "activations": 19998,
-//!      "wall_ns": {"min": 1, "mean": 2, "max": 3}}
+//!      "m": 9999, "threads": 1, "rounds": 10000, "messages": 19998,
+//!      "activations": 19998, "wall_ns": {"min": 1, "mean": 2, "max": 3}}
 //!   ]
 //! }
 //! ```
 //!
-//! One entry per line; names use only `[a-z0-9_/=.-]`, so no JSON string
-//! escaping is ever needed.
+//! (v2 added `threads` everywhere and `speedup_milli` on sharded scale
+//! entries.) One entry per line; names use only `[a-z0-9_/=.-]`, so no
+//! JSON string escaping is ever needed — and the reader *rejects* any
+//! escape it meets, along with malformed numbers, so a corrupt baseline
+//! can never silently pass the `--check` gate.
 
 use std::time::Instant;
 
 use dsf_baselines::solve_collect_at_root;
 use dsf_congest::{
-    run_reference, run_with_buffers, CongestConfig, Message, NodeCtx, Outbox, Protocol,
-    RoundLedger, RunBuffers, RunMetrics, SchedStats, SimError,
+    run_reference, run_sharded, run_with_buffers, CongestConfig, Message, NodeCtx, Outbox,
+    Protocol, RoundLedger, RunBuffers, RunMetrics, SchedStats, SimError,
 };
 use dsf_core::det::{solve_deterministic, DetConfig};
 use dsf_core::randomized::{solve_randomized, RandConfig};
@@ -41,7 +48,7 @@ use dsf_graph::{generators, NodeId, WeightedGraph};
 use dsf_steiner::random_instance;
 
 /// Identifier of the emitted JSON layout.
-pub const SCHEMA: &str = "dsf-bench-executor/v1";
+pub const SCHEMA: &str = "dsf-bench-executor/v2";
 
 /// Wall-clock statistics over the repetitions of one workload, in
 /// nanoseconds.
@@ -64,6 +71,9 @@ pub struct BenchEntry {
     pub n: usize,
     /// Edges of the workload graph.
     pub m: usize,
+    /// Worker threads the entry ran with (configuration, report-only —
+    /// deterministic metrics never depend on it).
+    pub threads: usize,
     /// Simulated rounds (deterministic).
     pub rounds: u64,
     /// Delivered messages (deterministic).
@@ -72,6 +82,9 @@ pub struct BenchEntry {
     pub activations: u64,
     /// Wall-clock statistics (machine-dependent, report-only).
     pub wall_ns: WallNs,
+    /// Min-wall speedup over the single-threaded twin entry, ×1000
+    /// (scale-tier sharded entries only; machine-dependent, report-only).
+    pub speedup_milli: Option<u64>,
 }
 
 /// A full `bench_runner` report.
@@ -84,7 +97,7 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Serializes to the `dsf-bench-executor/v1` JSON layout.
+    /// Serializes to the `dsf-bench-executor/v2` JSON layout.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
@@ -93,13 +106,18 @@ impl BenchReport {
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let speedup = e
+                .speedup_milli
+                .map(|v| format!(", \"speedup_milli\": {v}"))
+                .unwrap_or_default();
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"rounds\": {}, \
-                 \"messages\": {}, \"activations\": {}, \"wall_ns\": \
-                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}}}{comma}\n",
+                "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"threads\": {}, \
+                 \"rounds\": {}, \"messages\": {}, \"activations\": {}, \"wall_ns\": \
+                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}{speedup}}}{comma}\n",
                 e.name,
                 e.n,
                 e.m,
+                e.threads,
                 e.rounds,
                 e.messages,
                 e.activations,
@@ -115,6 +133,11 @@ impl BenchReport {
     /// Parses the line-oriented subset of JSON that [`BenchReport::to_json`]
     /// emits (one entry object per line).
     ///
+    /// The reader is deliberately strict: malformed numbers (`12x3`),
+    /// escaped or unterminated strings, and missing fields are hard
+    /// errors, never best-effort values — `--check` must not be able to
+    /// pass against a corrupt baseline.
+    ///
     /// # Errors
     ///
     /// Returns a description of the first malformed line or missing field.
@@ -123,23 +146,25 @@ impl BenchReport {
         let mut entries = Vec::new();
         for line in json.lines() {
             if line.contains("\"schema\"") {
-                let schema =
-                    str_field(line, "schema").ok_or_else(|| "unreadable schema".to_string())?;
+                let schema = str_field(line, "schema")?;
                 if schema != SCHEMA {
                     return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
                 }
             } else if line.contains("\"mode\"") {
-                mode = str_field(line, "mode");
+                mode = Some(str_field(line, "mode")?);
             } else if line.contains("\"name\"") {
-                let name =
-                    str_field(line, "name").ok_or_else(|| format!("bad entry line: {line}"))?;
-                let get = |k: &str| {
-                    u64_field(line, k).ok_or_else(|| format!("entry {name}: missing {k}"))
+                let name = str_field(line, "name")?;
+                let get = |k: &str| u64_field(line, k).map_err(|e| format!("entry {name}: {e}"));
+                let speedup_milli = if line.contains("\"speedup_milli\"") {
+                    Some(get("speedup_milli")?)
+                } else {
+                    None
                 };
                 entries.push(BenchEntry {
                     name: name.clone(),
                     n: get("n")? as usize,
                     m: get("m")? as usize,
+                    threads: get("threads")? as usize,
                     rounds: get("rounds")?,
                     messages: get("messages")?,
                     activations: get("activations")?,
@@ -148,6 +173,7 @@ impl BenchReport {
                         mean: get("mean")?,
                         max: get("max")?,
                     },
+                    speedup_milli,
                 });
             }
         }
@@ -160,7 +186,10 @@ impl BenchReport {
     /// Compares the deterministic metrics against a checked-in baseline.
     ///
     /// Returns one human-readable drift description per mismatch (empty =
-    /// gate passes). Wall-clock numbers are intentionally ignored.
+    /// gate passes). Wall-clock, `threads`, and `speedup_milli` are
+    /// intentionally ignored: they are machine/configuration facts, and
+    /// the same gate must pass under any `DSF_THREADS` (that invariance
+    /// is itself CI-enforced by running the gate at two thread counts).
     pub fn diff_deterministic(&self, baseline: &BenchReport) -> Vec<String> {
         let mut drifts = Vec::new();
         if self.mode != baseline.mode {
@@ -200,18 +229,60 @@ impl BenchReport {
     }
 }
 
-fn str_field(line: &str, key: &str) -> Option<String> {
+/// Extracts the string value of `"key": "…"` from one line.
+///
+/// # Errors
+///
+/// Rejects missing keys, unterminated strings, and any backslash in the
+/// value: this reader's schema never needs JSON escapes, and treating an
+/// escaped quote as a terminator would silently truncate the value.
+fn str_field(line: &str, key: &str) -> Result<String, String> {
     let pat = format!("\"{key}\": \"");
-    let i = line.find(&pat)? + pat.len();
+    let i = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing string field {key:?}"))?
+        + pat.len();
     let rest = &line[i..];
-    Some(rest[..rest.find('"')?].to_string())
+    let end = rest
+        .find('"')
+        .ok_or_else(|| format!("field {key:?}: unterminated string"))?;
+    let val = &rest[..end];
+    if val.contains('\\') {
+        return Err(format!(
+            "field {key:?}: escaped strings are not supported by this reader"
+        ));
+    }
+    Ok(val.to_string())
 }
 
-fn u64_field(line: &str, key: &str) -> Option<u64> {
+/// Extracts the unsigned integer value of `"key": …` from one line.
+///
+/// # Errors
+///
+/// Rejects missing keys, empty digit runs, and digit runs not terminated
+/// by a structural character (`,`, `}`, or end of line) — `12x3` is a
+/// parse error, not 12.
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
     let pat = format!("\"{key}\": ");
-    let i = line.find(&pat)? + pat.len();
-    let digits: String = line[i..].chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
+    let i = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        + pat.len();
+    let digits: &str = &line[i..i + line[i..]
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(line.len() - i)];
+    if digits.is_empty() {
+        return Err(format!("field {key:?}: expected a number"));
+    }
+    match line[i + digits.len()..].chars().next() {
+        None | Some(',') | Some('}') => {}
+        Some(c) => {
+            return Err(format!(
+                "field {key:?}: malformed number ({c:?} after {digits:?})"
+            ))
+        }
+    }
+    digits.parse().map_err(|e| format!("field {key:?}: {e}"))
 }
 
 /// The raw-executor micro-workload: a BFS wave from node 0 — the sparse
@@ -325,10 +396,12 @@ fn executor_pair(name: &str, g: &WeightedGraph, reps: usize, entries: &mut Vec<B
             name: format!("{name}/{suffix}"),
             n: g.n(),
             m: g.m(),
+            threads: 1,
             rounds: t.metrics.rounds,
             messages: t.metrics.messages,
             activations: t.stats.activations,
             wall_ns: t.wall_ns,
+            speedup_milli: None,
         });
     }
 }
@@ -358,10 +431,15 @@ fn solver_entry(
         name: name.to_string(),
         n: g.n(),
         m: g.m(),
+        // Solvers run through `dsf_congest::run`, which dispatches on the
+        // configured thread count — record it so the artifact documents
+        // the configuration behind the wall-clock numbers.
+        threads: dsf_congest::default_threads(),
         rounds: timed.metrics.rounds,
         messages: timed.metrics.messages,
         activations: 0,
         wall_ns: timed.wall_ns,
+        speedup_milli: None,
     });
 }
 
@@ -449,6 +527,178 @@ pub fn collect(quick: bool) -> BenchReport {
     }
 }
 
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The scale-tier workload message: one 64-bit digest per edge per round.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipMsg(u64);
+
+impl Message for GossipMsg {
+    fn encoded_bits(&self) -> usize {
+        64
+    }
+}
+
+/// The scale-tier workload: dense deterministic gossip. Every node floods
+/// a digest to all neighbors for a fixed number of rounds and folds every
+/// received digest into its own — so *every* node is active *every*
+/// round, the per-round work the sharded executor parallelizes. (The
+/// sparse `bfs_wave` workload is the opposite extreme: one active node
+/// per round, nothing to parallelize.)
+///
+/// Exported so the root acceptance test (`tests/executor_scheduling.rs`)
+/// times the *same* workload the `--scale` bench tier reports on.
+#[derive(Debug, PartialEq, Eq)]
+pub struct GossipNode {
+    digest: u64,
+    rounds_left: u32,
+}
+
+impl Protocol for GossipNode {
+    type Msg = GossipMsg;
+
+    fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<GossipMsg>) {
+        self.digest = splitmix(u64::from(ctx.id.0));
+        out.send_all(ctx, GossipMsg(self.digest));
+    }
+
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, GossipMsg)], out: &mut Outbox<GossipMsg>) {
+        for &(from, m) in inbox {
+            self.digest = splitmix(self.digest ^ m.0 ^ u64::from(from.0));
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            out.send_all(ctx, GossipMsg(self.digest));
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.rounds_left == 0
+    }
+}
+
+/// Fresh gossip nodes that each flood for `rounds` rounds.
+pub fn gossip_nodes(g: &WeightedGraph, rounds: u32) -> Vec<GossipNode> {
+    g.nodes()
+        .map(|_| GossipNode {
+            digest: 0,
+            rounds_left: rounds,
+        })
+        .collect()
+}
+
+/// One scale workload: the same gossip run through the single-threaded
+/// event engine (`t=1`) and the sharded engine at the remaining thread
+/// counts. Deterministic metrics are asserted identical across all
+/// engines; `speedup_milli` records min-wall `t=1` over min-wall `t=k`.
+fn scale_family(
+    name: &str,
+    g: &WeightedGraph,
+    rounds: u32,
+    threads: &[usize],
+    reps: usize,
+    entries: &mut Vec<BenchEntry>,
+) {
+    let cfg = CongestConfig::for_graph(g);
+    let mut buffers = RunBuffers::for_graph(g);
+    let single = time_reps(reps, || {
+        run_with_buffers(g, gossip_nodes(g, rounds), &cfg, &mut buffers)
+            .map(|r| (r.metrics, r.stats))
+    });
+    let push = |entries: &mut Vec<BenchEntry>, t: usize, timed: &Timed, speedup: Option<u64>| {
+        entries.push(BenchEntry {
+            name: format!("{name}/t={t}"),
+            n: g.n(),
+            m: g.m(),
+            threads: t,
+            rounds: timed.metrics.rounds,
+            messages: timed.metrics.messages,
+            activations: timed.stats.activations,
+            wall_ns: timed.wall_ns,
+            speedup_milli: speedup,
+        });
+    };
+    push(entries, 1, &single, None);
+    for &t in threads.iter().filter(|&&t| t > 1) {
+        let sharded = time_reps(reps, || {
+            run_sharded(g, gossip_nodes(g, rounds), &cfg, t).map(|r| (r.metrics, r.stats))
+        });
+        assert_eq!(
+            sharded.metrics, single.metrics,
+            "{name}: sharded t={t} metrics diverge"
+        );
+        assert_eq!(
+            sharded.stats, single.stats,
+            "{name}: sharded t={t} work counters diverge"
+        );
+        let speedup = single.wall_ns.min.saturating_mul(1000) / sharded.wall_ns.min.max(1);
+        push(entries, t, &sharded, Some(speedup));
+    }
+}
+
+/// The `--scale` tier: dense gossip on large path/grid/clustered graphs
+/// (n up to ~100k) across worker-thread counts {1, 2, 4, 8}, measuring
+/// the sharded executor's wall-clock scaling. Deterministic metrics are
+/// asserted bit-identical across every thread count before an entry is
+/// emitted, so the tier cannot "speed up" by drifting; there is no
+/// checked-in baseline (wall-clock is the product here), hence no
+/// `--check` in this mode.
+pub fn collect_scale(quick: bool) -> BenchReport {
+    let reps = if quick { 2 } else { 3 };
+    let threads = [1usize, 2, 4, 8];
+    let mut entries = Vec::new();
+
+    // Clusters are internally complete (m ≈ clusters · per_cluster²/2),
+    // so keep per_cluster small: the family is here for its skewed degree
+    // distribution (stresses the slot-balanced shard partitioning), not
+    // for raw edge volume.
+    let (path_n, grid_side, clusters, per_cluster, rounds) = if quick {
+        (20_000, 140, 500, 40, 10)
+    } else {
+        (100_000, 316, 2_500, 40, 30)
+    };
+
+    let g = generators::path(path_n, 1);
+    scale_family(
+        &format!("executor/gossip/path/n={path_n}"),
+        &g,
+        rounds,
+        &threads,
+        reps,
+        &mut entries,
+    );
+
+    let g = generators::grid(grid_side, grid_side, 4, 3);
+    scale_family(
+        &format!("executor/gossip/grid/n={}", grid_side * grid_side),
+        &g,
+        rounds,
+        &threads,
+        reps,
+        &mut entries,
+    );
+
+    let g = generators::clustered_geometric(clusters, per_cluster, 11);
+    scale_family(
+        &format!("executor/gossip/clustered/n={}", g.n()),
+        &g,
+        rounds,
+        &threads,
+        reps,
+        &mut entries,
+    );
+
+    BenchReport {
+        mode: if quick { "scale-quick" } else { "scale" }.to_string(),
+        entries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +711,7 @@ mod tests {
                     name: "executor/x/event".into(),
                     n: 10,
                     m: 9,
+                    threads: 1,
                     rounds: 11,
                     messages: 18,
                     activations: 20,
@@ -469,11 +720,13 @@ mod tests {
                         mean: 2,
                         max: 3,
                     },
+                    speedup_milli: None,
                 },
                 BenchEntry {
                     name: "solver/y".into(),
                     n: 48,
                     m: 100,
+                    threads: 4,
                     rounds: 321,
                     messages: 4567,
                     activations: 0,
@@ -482,6 +735,7 @@ mod tests {
                         mean: 9,
                         max: 9,
                     },
+                    speedup_milli: Some(2750),
                 },
             ],
         }
@@ -492,6 +746,48 @@ mod tests {
         let r = sample();
         let parsed = BenchReport::parse(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected_not_truncated() {
+        let good = sample().to_json();
+        // `"rounds": 11` -> `"rounds": 11x3`: the old reader parsed 11.
+        let bad = good.replacen("\"rounds\": 11,", "\"rounds\": 11x3,", 1);
+        let err = BenchReport::parse(&bad).unwrap_err();
+        assert!(err.contains("rounds"), "{err}");
+        assert!(err.contains("malformed"), "{err}");
+        // An empty digit run is just as dead.
+        let bad = good.replacen("\"messages\": 18,", "\"messages\": ,", 1);
+        let err = BenchReport::parse(&bad).unwrap_err();
+        assert!(err.contains("messages"), "{err}");
+    }
+
+    #[test]
+    fn escaped_and_unterminated_strings_are_rejected() {
+        let good = sample().to_json();
+        // An escaped quote inside a name: the old reader truncated the
+        // value at the backslash-quote and kept going.
+        let bad = good.replacen("executor/x/event", r#"executor\"x"#, 1);
+        let err = BenchReport::parse(&bad).unwrap_err();
+        assert!(err.contains("escaped"), "{err}");
+        // A mode line whose string never closes.
+        let bad = good.replacen("\"mode\": \"quick\",", "\"mode\": \"quick,", 1);
+        let err = BenchReport::parse(&bad).unwrap_err();
+        assert!(
+            err.contains("unterminated") || err.contains("mode"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_baseline_cannot_pass_check() {
+        // End-to-end: a baseline with a mangled metric must fail to parse
+        // (the old reader read `11zzz` as 11, which *matched* the live
+        // report and let --check pass against garbage).
+        let corrupt = sample()
+            .to_json()
+            .replacen("\"rounds\": 11,", "\"rounds\": 11zzz,", 1);
+        assert!(BenchReport::parse(&corrupt).is_err());
     }
 
     #[test]

@@ -1,15 +1,36 @@
-//! Flat, pre-allocated message buffers for the event-driven executor.
+//! Flat, pre-allocated message buffers for the event-driven executors,
+//! organized so every piece of run state is *shard-partitionable*.
 //!
 //! The naive round loop (retained as [`crate::run_reference`]) keeps a
 //! `Vec<Vec<(NodeId, Msg)>>` inbox/pending pair and allocates as traffic
-//! grows. [`RunBuffers`] replaces it with a CSR-style per-edge slot arena
-//! indexed by the graph's adjacency layout: for each *receiver* `v` and
-//! each adjacency position `j`, slot `off[v] + j` holds the at most one
-//! message in flight from `v`'s `j`-th neighbor (the CONGEST model allows
-//! one message per edge direction per round, so one slot per directed edge
-//! suffices). Two slot arrays are swapped between rounds, giving the same
-//! double buffering as the old inbox/pending pair without touching the
-//! allocator.
+//! grows. The event-driven engines replace it with a CSR-style per-edge
+//! slot arena indexed by the graph's adjacency layout: for each *receiver*
+//! `v` and each adjacency position `j`, slot `off[v] + j` holds the at
+//! most one message in flight from `v`'s `j`-th neighbor (the CONGEST
+//! model allows one message per edge direction per round, so one slot per
+//! directed edge suffices). Two slot arrays are swapped between rounds,
+//! giving the same double buffering as the old inbox/pending pair without
+//! touching the allocator.
+//!
+//! # Sharding
+//!
+//! All run state lives in [`ShardState`], a value covering a contiguous
+//! node range `[node_lo, node_hi)` and, with it, the contiguous slot range
+//! `[off[node_lo], off[node_hi])`. Because `off` is monotone in the node
+//! id, a partition of the nodes into contiguous ranges partitions the slot
+//! arena into disjoint contiguous segments — each shard owns
+//!
+//! * its nodes' *receiver-side* slots (`cur`/`next` arena segments),
+//! * its nodes' *sender-side* duplicate-send marks (`sent_mark`, indexed
+//!   by the sender's own adjacency slots, which live in the same range),
+//! * the active-set worklists and termination votes of its nodes.
+//!
+//! The single-threaded scheduler ([`crate::run`]) uses one shard covering
+//! the whole graph; [`crate::run_sharded`] gives each worker thread its
+//! own shard and routes the (validated, metered) cross-shard messages
+//! through per-worker queues merged deterministically by the owner (see
+//! `crate::shard`). Nothing in this module takes a lock: disjointness is
+//! by construction.
 //!
 //! A [`RunBuffers`] value is reusable: repeated runs on the same graph
 //! (bench loops, multi-seed experiments) allocate zero steady-state
@@ -19,6 +40,7 @@
 
 use dsf_graph::{NodeId, WeightedGraph};
 
+use crate::executor::{CongestConfig, Outbox, RunMetrics, SchedStats, SimError};
 use crate::message::Message;
 
 /// The CSR layout of the slot arena, derived from a graph's adjacency
@@ -56,7 +78,7 @@ impl CsrTopology {
         h
     }
 
-    fn build(g: &WeightedGraph) -> Self {
+    pub(crate) fn build(g: &WeightedGraph) -> Self {
         let n = g.n();
         let mut off = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
@@ -82,10 +104,328 @@ impl CsrTopology {
             fingerprint: Self::fingerprint_of(g),
         }
     }
+
+    /// Contiguous, slot-balanced shard boundaries: `bounds.len() ==
+    /// shards' + 1` with `bounds[0] == 0` and `bounds[last] == n`, where
+    /// `shards' = min(shards, max(n, 1))`. Boundaries are placed so each
+    /// shard owns roughly `total_slots / shards` directed-edge slots
+    /// (degree-weighted load balance), while every shard keeps at least
+    /// one node. Deterministic in the topology alone.
+    pub(crate) fn shard_bounds(&self, shards: usize) -> Vec<u32> {
+        let n = self.n;
+        let t = shards.clamp(1, n.max(1));
+        let total = u64::from(*self.off.last().expect("off is never empty"));
+        let mut bounds = Vec::with_capacity(t + 1);
+        bounds.push(0u32);
+        let mut v = 0usize;
+        for s in 1..t {
+            let target = total * s as u64 / t as u64;
+            while v < n && u64::from(self.off[v]) < target {
+                v += 1;
+            }
+            // Keep boundaries strictly increasing and leave at least one
+            // node for each remaining shard.
+            v = v
+                .max(*bounds.last().expect("nonempty") as usize + 1)
+                .min(n - (t - s));
+            bounds.push(v as u32);
+        }
+        bounds.push(n as u32);
+        bounds
+    }
 }
 
-/// Reusable state of the event-driven executor: the slot arena, the
-/// active-set worklists, and the per-node scratch buffers.
+/// Shard index owning node `v` under the boundary vector produced by
+/// [`CsrTopology::shard_bounds`].
+pub(crate) fn shard_of(bounds: &[u32], v: u32) -> usize {
+    bounds.partition_point(|&b| b <= v) - 1
+}
+
+/// A validated, metered message crossing a shard boundary: the sender's
+/// worker already charged it against the bandwidth budget and resolved
+/// its receiver-side `slot`; the owner of the receiving shard writes it
+/// into its `next` arena during the merge phase.
+#[derive(Debug)]
+pub(crate) struct RemoteMsg<M> {
+    /// Global receiver-side slot (unique per directed edge).
+    pub(crate) slot: u32,
+    /// Receiving node (used to schedule it for the next round).
+    pub(crate) to: u32,
+    /// The payload.
+    pub(crate) msg: M,
+}
+
+/// Read-only inputs threaded through every engine step.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) g: &'a WeightedGraph,
+    pub(crate) topo: &'a CsrTopology,
+    pub(crate) cfg: &'a CongestConfig,
+    /// Shard boundaries of the active partition (`[0, n]` when single).
+    pub(crate) bounds: &'a [u32],
+}
+
+/// All mutable run state of one shard: a contiguous node range, its slice
+/// of the double-buffered slot arena, its active-set worklists, duplicate
+/// marks, termination votes, and its partial metrics. The single-threaded
+/// scheduler uses one value covering the whole graph; the sharded engine
+/// gives each worker its own. See the module docs for the disjointness
+/// argument.
+#[derive(Debug)]
+pub(crate) struct ShardState<M> {
+    /// First owned node id.
+    pub(crate) node_lo: u32,
+    /// One past the last owned node id.
+    pub(crate) node_hi: u32,
+    /// First owned slot (`off[node_lo]`); local slot index = global −
+    /// `slot_lo`.
+    pub(crate) slot_lo: u32,
+    /// Slots delivered in the round being executed (local indices).
+    pub(crate) cur: Vec<Option<M>>,
+    /// Slots being filled for the next round (local indices).
+    pub(crate) next: Vec<Option<M>>,
+    /// Owned nodes to invoke this round (global ids, sorted ascending
+    /// before execution).
+    pub(crate) cur_active: Vec<u32>,
+    /// Owned nodes scheduled for the next round (deduplicated via
+    /// `active_mark`).
+    pub(crate) next_active: Vec<u32>,
+    /// Membership bit per owned node for `next_active` (local indices).
+    pub(crate) active_mark: Vec<bool>,
+    /// Cached termination votes (local indices). `Protocol::done` takes
+    /// `&self`, so a vote can only change when the node is invoked — and
+    /// nodes are only ever invoked by their owning shard, so caching
+    /// stays sound under sharding.
+    pub(crate) done: Vec<bool>,
+    /// Epoch-stamped *sender-side* duplicate-send marks, one per owned
+    /// adjacency slot (`off[u] + j` for owned sender `u`). Marking the
+    /// sender's own slot instead of the receiver's id keeps the check
+    /// O(1) *and* shard-local — the receiver may live in another shard.
+    pub(crate) sent_mark: Vec<u64>,
+    pub(crate) sent_epoch: u64,
+    /// Adjacency positions resolved during the duplicate pass, reused by
+    /// the metering pass (`u32::MAX` = not a neighbor).
+    pub(crate) adj_pos: Vec<u32>,
+    /// Messages committed into this shard's `next` arena this round.
+    pub(crate) in_flight: u64,
+    /// Owned nodes currently voting not-done.
+    pub(crate) not_done: usize,
+    /// Scratch inbox reused across node invocations.
+    pub(crate) inbox: Vec<(NodeId, M)>,
+    /// Recycled outbox storage.
+    pub(crate) out_storage: Vec<(NodeId, M)>,
+    /// Partial model metrics (summed across shards at the end of a run).
+    pub(crate) metrics: RunMetrics,
+    /// Partial scheduler work counters.
+    pub(crate) stats: SchedStats,
+}
+
+impl<M: Message> ShardState<M> {
+    /// Fresh state for the owned node range `[node_lo, node_hi)`.
+    pub(crate) fn new(topo: &CsrTopology, node_lo: u32, node_hi: u32) -> Self {
+        let slot_lo = topo.off[node_lo as usize];
+        let slots = (topo.off[node_hi as usize] - slot_lo) as usize;
+        let n_local = (node_hi - node_lo) as usize;
+        let mut shard = ShardState {
+            node_lo,
+            node_hi,
+            slot_lo,
+            cur: Vec::with_capacity(slots),
+            next: Vec::with_capacity(slots),
+            cur_active: Vec::new(),
+            next_active: Vec::new(),
+            active_mark: Vec::with_capacity(n_local),
+            done: Vec::with_capacity(n_local),
+            sent_mark: vec![0; slots],
+            sent_epoch: 0,
+            adj_pos: Vec::new(),
+            in_flight: 0,
+            not_done: 0,
+            inbox: Vec::new(),
+            out_storage: Vec::new(),
+            metrics: RunMetrics::default(),
+            stats: SchedStats::default(),
+        };
+        shard.reset();
+        shard
+    }
+
+    /// Clears all transient run state in place (an aborted run may leave
+    /// slots occupied). `sent_mark` survives untouched: stale stamps are
+    /// always smaller than the monotone `sent_epoch`.
+    pub(crate) fn reset(&mut self) {
+        let slots = self.sent_mark.len();
+        let n_local = (self.node_hi - self.node_lo) as usize;
+        self.cur.clear();
+        self.cur.resize_with(slots, || None);
+        self.next.clear();
+        self.next.resize_with(slots, || None);
+        self.cur_active.clear();
+        self.next_active.clear();
+        self.active_mark.clear();
+        self.active_mark.resize(n_local, false);
+        self.done.clear();
+        self.done.resize(n_local, false);
+        self.in_flight = 0;
+        self.not_done = 0;
+        self.inbox.clear();
+        self.out_storage.clear();
+        self.metrics = RunMetrics::default();
+        self.stats = SchedStats::default();
+    }
+
+    /// Local index of an owned node.
+    #[inline]
+    pub(crate) fn local(&self, v: u32) -> usize {
+        debug_assert!(self.node_lo <= v && v < self.node_hi, "{v} not owned");
+        (v - self.node_lo) as usize
+    }
+
+    /// Schedules an owned node for the next round (idempotent).
+    #[inline]
+    pub(crate) fn schedule(&mut self, v: u32) {
+        let li = self.local(v);
+        if !self.active_mark[li] {
+            self.active_mark[li] = true;
+            self.next_active.push(v);
+        }
+    }
+
+    /// Starts a round: promotes the slots and nodes scheduled last round,
+    /// sorts the active set into ascending node-id order (matching the
+    /// reference executor), and resets the per-round counters.
+    pub(crate) fn promote(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.next);
+        std::mem::swap(&mut self.cur_active, &mut self.next_active);
+        self.next_active.clear();
+        let lo = self.node_lo;
+        for &v in &self.cur_active {
+            self.active_mark[(v - lo) as usize] = false;
+        }
+        self.cur_active.sort_unstable();
+        self.in_flight = 0;
+    }
+
+    /// Fills `self.inbox` with the messages delivered to owned node `v`
+    /// this round. Slot order is the sorted adjacency order, i.e.
+    /// ascending sender id — the delivery order the reference executor
+    /// produces.
+    pub(crate) fn gather_inbox(&mut self, g: &WeightedGraph, topo: &CsrTopology, v: u32) {
+        self.inbox.clear();
+        let lo = (topo.off[v as usize] - self.slot_lo) as usize;
+        let nbrs = g.neighbors(NodeId(v));
+        for (j, slot) in self.cur[lo..lo + nbrs.len()].iter_mut().enumerate() {
+            if let Some(m) = slot.take() {
+                self.inbox.push((nbrs[j].0, m));
+            }
+        }
+    }
+
+    /// Writes a merged cross-shard message into the `next` arena and
+    /// schedules its receiver. The sender's worker already validated and
+    /// metered it.
+    pub(crate) fn deliver_remote(&mut self, m: RemoteMsg<M>) {
+        let li = (m.slot - self.slot_lo) as usize;
+        debug_assert!(self.next[li].is_none(), "slot double write");
+        self.next[li] = Some(m.msg);
+        self.in_flight += 1;
+        self.schedule(m.to);
+    }
+
+    /// Validates and meters one owned node's outgoing messages, writing
+    /// same-shard deliveries into the local `next` slots and queueing
+    /// cross-shard deliveries on `outbound` (indexed by destination
+    /// shard; never touched when the shard covers the whole graph).
+    ///
+    /// Error precedence matches the reference executor: a duplicate send
+    /// anywhere in the outbox beats per-message violations, which are
+    /// then reported in send order (non-neighbor before over-budget).
+    pub(crate) fn commit(
+        &mut self,
+        ectx: &EngineCtx<'_>,
+        round: u64,
+        out: &mut Outbox<M>,
+        outbound: &mut [Vec<RemoteMsg<M>>],
+    ) -> Result<(), SimError> {
+        let from = out.from();
+        let adj = ectx.g.neighbors(from);
+        let base = ectx.topo.off[from.idx()];
+        // Pass 1: duplicate-send detection, O(1) per message via epoch
+        // marks on the sender's own adjacency slots. Targets that are not
+        // neighbors cannot be marked; fall back to a scan so the error
+        // still matches the reference executor (such a message aborts the
+        // run as NotANeighbor in pass 2 anyway).
+        self.sent_epoch += 1;
+        let epoch = self.sent_epoch;
+        self.adj_pos.clear();
+        {
+            let msgs = out.msgs_mut();
+            for i in 0..msgs.len() {
+                let to = msgs[i].0;
+                let dup = match adj.binary_search_by_key(&to, |&(nb, _)| nb) {
+                    Ok(j) => {
+                        let s = (base - self.slot_lo) as usize + j;
+                        let seen = self.sent_mark[s] == epoch;
+                        self.sent_mark[s] = epoch;
+                        self.adj_pos.push(j as u32);
+                        seen
+                    }
+                    Err(_) => {
+                        self.adj_pos.push(u32::MAX);
+                        msgs[..i].iter().any(|&(t, _)| t == to)
+                    }
+                };
+                if dup {
+                    return Err(SimError::DuplicateSend { from, to, round });
+                }
+            }
+        }
+        // Pass 2: per-message model enforcement, metering, slot write or
+        // cross-shard queueing.
+        let slot_hi = self.slot_lo + self.next.len() as u32;
+        for (i, (to, msg)) in out.msgs_mut().drain(..).enumerate() {
+            let j = self.adj_pos[i];
+            if j == u32::MAX {
+                return Err(SimError::NotANeighbor { from, to });
+            }
+            let edge = adj[j as usize].1;
+            let bits = msg.encoded_bits();
+            if bits > ectx.cfg.bandwidth_bits {
+                return Err(SimError::BandwidthExceeded {
+                    from,
+                    to,
+                    bits,
+                    budget: ectx.cfg.bandwidth_bits,
+                    round,
+                });
+            }
+            self.metrics.messages += 1;
+            self.metrics.total_bits += bits as u64;
+            self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+            if ectx.cfg.metered_cut.contains(&edge) {
+                self.metrics.cut_bits += bits as u64;
+            }
+            let slot = ectx.topo.mate[(base + j) as usize];
+            if (self.slot_lo..slot_hi).contains(&slot) {
+                let li = (slot - self.slot_lo) as usize;
+                debug_assert!(self.next[li].is_none(), "slot double write");
+                self.next[li] = Some(msg);
+                self.in_flight += 1;
+                self.schedule(to.0);
+            } else {
+                outbound[shard_of(ectx.bounds, to.0)].push(RemoteMsg {
+                    slot,
+                    to: to.0,
+                    msg,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reusable state of the single-threaded event-driven executor: one
+/// shard-state partition covering the whole graph plus the CSR topology.
 ///
 /// Create once with [`RunBuffers::for_graph`] and pass to
 /// [`crate::run_with_buffers`] for allocation-free repeated runs:
@@ -123,83 +463,25 @@ impl CsrTopology {
 #[derive(Debug)]
 pub struct RunBuffers<M> {
     pub(crate) topo: CsrTopology,
-    /// Slots delivered in the round being executed.
-    pub(crate) cur: Vec<Option<M>>,
-    /// Slots being filled for the next round.
-    pub(crate) next: Vec<Option<M>>,
-    /// Nodes to invoke this round (sorted ascending before execution).
-    pub(crate) cur_active: Vec<u32>,
-    /// Nodes scheduled for the next round (deduplicated via `active_mark`).
-    pub(crate) next_active: Vec<u32>,
-    /// Membership bit per node for `next_active`.
-    pub(crate) active_mark: Vec<bool>,
-    /// Epoch-stamped per-target marks: the O(1) duplicate-send check that
-    /// replaces the old O(degree) scan per `Outbox::send`.
-    pub(crate) dup_mark: Vec<u64>,
-    pub(crate) dup_epoch: u64,
-    /// Cached termination votes. `Protocol::done` takes `&self`, so a vote
-    /// can only change when the node is invoked — caching is sound.
-    pub(crate) done: Vec<bool>,
-    /// Messages committed in the round being executed.
-    pub(crate) in_flight: u64,
-    /// Scratch inbox reused across node invocations.
-    pub(crate) inbox: Vec<(NodeId, M)>,
-    /// Recycled outbox storage.
-    pub(crate) out_storage: Vec<(NodeId, M)>,
+    pub(crate) shard: ShardState<M>,
 }
 
 impl<M: Message> RunBuffers<M> {
     /// Allocates buffers sized for `g`.
     pub fn for_graph(g: &WeightedGraph) -> Self {
         let topo = CsrTopology::build(g);
-        let slots = topo.mate.len();
-        let n = topo.n;
-        let mut buf = RunBuffers {
-            topo,
-            cur: Vec::with_capacity(slots),
-            next: Vec::with_capacity(slots),
-            cur_active: Vec::new(),
-            next_active: Vec::new(),
-            active_mark: Vec::with_capacity(n),
-            dup_mark: Vec::with_capacity(n),
-            dup_epoch: 0,
-            done: Vec::with_capacity(n),
-            in_flight: 0,
-            inbox: Vec::new(),
-            out_storage: Vec::new(),
-        };
-        buf.reset();
-        buf
+        let shard = ShardState::new(&topo, 0, topo.n as u32);
+        RunBuffers { topo, shard }
     }
 
     /// Rebuilds the topology if `g` differs from the graph the buffers
-    /// were last used with, then clears all transient run state in place
-    /// (an aborted run may leave slots occupied).
+    /// were last used with, then clears all transient run state in place.
     pub(crate) fn ensure(&mut self, g: &WeightedGraph) {
         if self.topo.fingerprint != CsrTopology::fingerprint_of(g) {
             self.topo = CsrTopology::build(g);
+            self.shard = ShardState::new(&self.topo, 0, self.topo.n as u32);
+        } else {
+            self.shard.reset();
         }
-        self.reset();
-    }
-
-    fn reset(&mut self) {
-        let slots = self.topo.mate.len();
-        let n = self.topo.n;
-        self.cur.clear();
-        self.cur.resize_with(slots, || None);
-        self.next.clear();
-        self.next.resize_with(slots, || None);
-        self.cur_active.clear();
-        self.next_active.clear();
-        self.active_mark.clear();
-        self.active_mark.resize(n, false);
-        // Stale `dup_mark` stamps are always < the monotone epoch, so the
-        // values can be kept across runs; only the length must track `n`.
-        self.dup_mark.resize(n, 0);
-        self.done.clear();
-        self.done.resize(n, false);
-        self.in_flight = 0;
-        self.inbox.clear();
-        self.out_storage.clear();
     }
 }

@@ -436,13 +436,30 @@ pub fn run_reference<P: Protocol>(
 mod tests {
     use super::*;
     use crate::scheduler::run;
+    use crate::shard::run_sharded;
     use dsf_graph::generators;
 
     type Exec<P> = fn(&WeightedGraph, Vec<P>, &CongestConfig) -> Result<RunResult<P>, SimError>;
 
-    /// Both executors, to exercise model enforcement on each.
-    fn executors<P: Protocol>() -> [Exec<P>; 2] {
-        [run::<P>, run_reference::<P>]
+    fn run_sharded3<P>(
+        g: &WeightedGraph,
+        nodes: Vec<P>,
+        cfg: &CongestConfig,
+    ) -> Result<RunResult<P>, SimError>
+    where
+        P: Protocol + Send,
+        P::Msg: Send,
+    {
+        run_sharded(g, nodes, cfg, 3)
+    }
+
+    /// All three executors, to exercise model enforcement on each.
+    fn executors<P>() -> [Exec<P>; 3]
+    where
+        P: Protocol + Send,
+        P::Msg: Send,
+    {
+        [run::<P>, run_reference::<P>, run_sharded3::<P>]
     }
 
     #[derive(Clone, Debug)]

@@ -30,7 +30,12 @@ pub struct LedgerEntry {
 }
 
 /// An append-only log of stage costs.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares entry-for-entry — labels, simulated/charged
+/// rounds, messages, bits, cut bits — which is how the executor
+/// equivalence suites assert that a whole solver run is bit-identical
+/// across engines and worker-thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundLedger {
     entries: Vec<LedgerEntry>,
 }

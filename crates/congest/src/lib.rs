@@ -30,7 +30,15 @@
 //! a CSR-style flat slot arena instead of per-node per-round vectors. Use
 //! [`run_with_buffers`] with a caller-owned [`RunBuffers`] to make
 //! repeated runs (bench loops, multi-seed experiments) allocation-free in
-//! steady state. [`run_reference`] is the retained naive executor —
+//! steady state. [`run_sharded`] is the multi-threaded variant: the node
+//! arena is partitioned into per-worker shards and every round runs as
+//! compute phase → barrier → deterministic merge phase, with *bit
+//! identical* [`RunMetrics`], final states, and errors at every thread
+//! count (see the [`shard`](crate::run_sharded) docs for the argument).
+//! [`run`] itself dispatches on [`default_threads`] (the `DSF_THREADS`
+//! environment variable, overridable via [`set_default_threads`]), so the
+//! whole solver stack parallelizes without a code change — and without an
+//! observable one. [`run_reference`] is the retained naive executor —
 //! everyone, every round — serving as the semantic oracle ([`RunMetrics`]
 //! and final states are bit-identical; property-tested) and as the
 //! baseline `bench_runner` measures scheduling savings against.
@@ -74,6 +82,7 @@ mod executor;
 mod ledger;
 mod message;
 mod scheduler;
+mod shard;
 
 pub use buffers::RunBuffers;
 pub use executor::{
@@ -83,3 +92,4 @@ pub use executor::{
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use message::{id_bits, weight_bits, Message};
 pub use scheduler::{run, run_with_buffers};
+pub use shard::{default_threads, run_sharded, set_default_threads};

@@ -20,32 +20,53 @@
 //! an empty inbox, so the skipped invocations are exactly the no-op ones.
 //! A protocol that votes done and keeps talking violates the contract;
 //! the reference executor (which skips nothing) flushes such bugs out.
+//!
+//! The per-node steps ([`invoke_init`], [`invoke_round`]) are shared with
+//! the multi-threaded engine in [`crate::shard`]: both operate on
+//! [`ShardState`] partitions, this module simply using a single shard
+//! covering the whole graph.
 
 use dsf_graph::{NodeId, WeightedGraph};
 
-use crate::buffers::RunBuffers;
-use crate::executor::{
-    CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SchedStats, SimError,
-};
-use crate::message::Message;
+use crate::buffers::{EngineCtx, RemoteMsg, RunBuffers, ShardState};
+use crate::executor::{CongestConfig, NodeCtx, Outbox, Protocol, RunResult, SimError};
+use crate::shard::{default_threads, run_sharded};
 
 /// Executes `nodes` (one [`Protocol`] state per node id) on the network
-/// `g` until quiescence, allocating fresh [`RunBuffers`].
+/// `g` until quiescence.
+///
+/// The engine is chosen by the configured worker-thread count
+/// ([`crate::default_threads`], settable via the `DSF_THREADS` environment
+/// variable or [`crate::set_default_threads`]): 1 runs the single-threaded
+/// active-set scheduler with fresh [`RunBuffers`]; more dispatches to
+/// [`crate::run_sharded`]. Either way the observable outcome —
+/// [`crate::RunMetrics`], final states, errors — is bit-identical; the
+/// thread count is a pure wall-clock knob.
 ///
 /// # Errors
 ///
 /// Propagates any [`SimError`] raised by model enforcement.
-pub fn run<P: Protocol>(
+pub fn run<P>(
     g: &WeightedGraph,
     nodes: Vec<P>,
     cfg: &CongestConfig,
-) -> Result<RunResult<P>, SimError> {
-    let mut buffers = RunBuffers::for_graph(g);
-    run_with_buffers(g, nodes, cfg, &mut buffers)
+) -> Result<RunResult<P>, SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
+    match default_threads() {
+        0 | 1 => {
+            let mut buffers = RunBuffers::for_graph(g);
+            run_with_buffers(g, nodes, cfg, &mut buffers)
+        }
+        t => run_sharded(g, nodes, cfg, t),
+    }
 }
 
-/// Like [`run`], but reuses caller-owned [`RunBuffers`]: repeated runs on
-/// the same graph allocate zero steady-state memory.
+/// Like [`run`], but always single-threaded and reusing caller-owned
+/// [`RunBuffers`]: repeated runs on the same graph allocate zero
+/// steady-state memory.
 ///
 /// # Errors
 ///
@@ -64,31 +85,22 @@ pub fn run_with_buffers<P: Protocol>(
         });
     }
     buf.ensure(g);
-    let mut metrics = RunMetrics::default();
-    let mut stats = SchedStats::default();
-    let mut not_done = 0usize;
+    let RunBuffers { topo, shard } = buf;
+    let bounds = [0u32, n as u32];
+    let ectx = EngineCtx {
+        g,
+        topo,
+        cfg,
+        bounds: &bounds,
+    };
 
-    // Round 0: init every node; collect votes and the first active set.
-    for v in 0..n {
-        let ctx = NodeCtx::new(NodeId::from(v), n, 0, g);
-        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut buf.out_storage));
-        nodes[v].init(&ctx, &mut out);
-        commit(g, cfg, 0, &mut out, buf, &mut metrics)?;
-        buf.out_storage = out.into_storage();
-        let vote = nodes[v].done();
-        buf.done[v] = vote;
-        if !vote {
-            not_done += 1;
-            if !buf.active_mark[v] {
-                buf.active_mark[v] = true;
-                buf.next_active.push(v as u32);
-            }
-        }
-    }
+    // Round 0: init every node; with a single shard no message can be
+    // cross-shard, so the outbound queues stay untouched.
+    invoke_init(&ectx, shard, &mut nodes, &mut [])?;
 
     let mut round = 0u64;
     loop {
-        if buf.in_flight == 0 && not_done == 0 {
+        if shard.in_flight == 0 && shard.not_done == 0 {
             break;
         }
         round += 1;
@@ -97,136 +109,98 @@ pub fn run_with_buffers<P: Protocol>(
                 limit: cfg.max_rounds,
             });
         }
-        // Deliver messages sent last round; promote the scheduled set.
-        std::mem::swap(&mut buf.cur, &mut buf.next);
-        std::mem::swap(&mut buf.cur_active, &mut buf.next_active);
-        buf.next_active.clear();
-        for &v in &buf.cur_active {
-            buf.active_mark[v as usize] = false;
-        }
-        // Ascending node-id order, matching the reference executor.
-        buf.cur_active.sort_unstable();
-        buf.in_flight = 0;
-
-        let cur_active = std::mem::take(&mut buf.cur_active);
-        let mut res = Ok(());
-        for &v in &cur_active {
-            let vu = v as usize;
-            let ctx = NodeCtx::new(NodeId(v), n, round, g);
-            // Gather the inbox from the slot arena; slot order is the
-            // sorted adjacency order, i.e. ascending sender id — the
-            // delivery order the reference executor produces.
-            buf.inbox.clear();
-            let lo = buf.topo.off[vu] as usize;
-            let nbrs = g.neighbors(ctx.id);
-            for (j, slot) in buf.cur[lo..lo + nbrs.len()].iter_mut().enumerate() {
-                if let Some(m) = slot.take() {
-                    buf.inbox.push((nbrs[j].0, m));
-                }
-            }
-            let was_done = buf.done[vu];
-            if was_done && !buf.inbox.is_empty() {
-                stats.wakeups += 1;
-            }
-            let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut buf.out_storage));
-            nodes[vu].round(&ctx, &buf.inbox, &mut out);
-            stats.activations += 1;
-            res = commit(g, cfg, round, &mut out, buf, &mut metrics);
-            buf.out_storage = out.into_storage();
-            if res.is_err() {
-                break;
-            }
-            let vote = nodes[vu].done();
-            if vote != was_done {
-                buf.done[vu] = vote;
-                if vote {
-                    not_done -= 1;
-                } else {
-                    not_done += 1;
-                }
-            }
-            if !vote && !buf.active_mark[vu] {
-                buf.active_mark[vu] = true;
-                buf.next_active.push(v);
-            }
-        }
-        buf.cur_active = cur_active;
-        res?;
-        metrics.rounds = round;
+        shard.promote();
+        invoke_round(&ectx, round, shard, &mut nodes, &mut [])?;
+        shard.metrics.rounds = round;
     }
 
     Ok(RunResult {
         states: nodes,
-        metrics,
-        stats,
+        metrics: std::mem::take(&mut shard.metrics),
+        stats: std::mem::take(&mut shard.stats),
     })
 }
 
-/// Validates and meters one node's outgoing messages, writing them into
-/// the next-round slots and scheduling the receivers.
+/// Round 0 over one shard: initializes every owned node, commits its
+/// messages, and records the first termination votes. `nodes` is the
+/// shard-local slice (`nodes[v - node_lo]` is node `v`).
 ///
-/// Error precedence matches the reference executor: a duplicate send
-/// anywhere in the outbox beats per-message violations, which are then
-/// reported in send order (non-neighbor before over-budget).
-fn commit<M: Message>(
-    g: &WeightedGraph,
-    cfg: &CongestConfig,
-    round: u64,
-    out: &mut Outbox<M>,
-    buf: &mut RunBuffers<M>,
-    metrics: &mut RunMetrics,
+/// # Errors
+///
+/// Returns the violation of the lowest-id erroring node in this shard;
+/// nodes after it are not invoked (matching the sequential order).
+pub(crate) fn invoke_init<P: Protocol>(
+    ectx: &EngineCtx<'_>,
+    shard: &mut ShardState<P::Msg>,
+    nodes: &mut [P],
+    outbound: &mut [Vec<RemoteMsg<P::Msg>>],
 ) -> Result<(), SimError> {
-    let from = out.from();
-    let msgs = out.msgs_mut();
-    // Pass 1: duplicate-send detection, O(1) per message via epoch marks.
-    buf.dup_epoch += 1;
-    let epoch = buf.dup_epoch;
-    for i in 0..msgs.len() {
-        let to = msgs[i].0;
-        let dup = if to.idx() < buf.topo.n {
-            let seen = buf.dup_mark[to.idx()] == epoch;
-            buf.dup_mark[to.idx()] = epoch;
-            seen
-        } else {
-            // Out-of-graph target: cannot be marked; fall back to a scan
-            // so the error matches the reference executor.
-            msgs[..i].iter().any(|&(t, _)| t == to)
-        };
-        if dup {
-            return Err(SimError::DuplicateSend { from, to, round });
-        }
-    }
-    // Pass 2: per-message model enforcement, metering, slot write.
-    let adj = g.neighbors(from);
-    for (to, msg) in msgs.drain(..) {
-        let j = adj
-            .binary_search_by_key(&to, |&(nb, _)| nb)
-            .map_err(|_| SimError::NotANeighbor { from, to })?;
-        let edge = adj[j].1;
-        let bits = msg.encoded_bits();
-        if bits > cfg.bandwidth_bits {
-            return Err(SimError::BandwidthExceeded {
-                from,
-                to,
-                bits,
-                budget: cfg.bandwidth_bits,
-                round,
-            });
-        }
-        metrics.messages += 1;
-        metrics.total_bits += bits as u64;
-        metrics.max_message_bits = metrics.max_message_bits.max(bits);
-        if cfg.metered_cut.contains(&edge) {
-            metrics.cut_bits += bits as u64;
-        }
-        let slot = buf.topo.mate[buf.topo.off[from.idx()] as usize + j] as usize;
-        debug_assert!(buf.next[slot].is_none(), "slot double write");
-        buf.next[slot] = Some(msg);
-        buf.in_flight += 1;
-        if !buf.active_mark[to.idx()] {
-            buf.active_mark[to.idx()] = true;
-            buf.next_active.push(to.0);
+    let n = ectx.g.n();
+    for v in shard.node_lo..shard.node_hi {
+        let li = shard.local(v);
+        let ctx = NodeCtx::new(NodeId(v), n, 0, ectx.g);
+        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut shard.out_storage));
+        nodes[li].init(&ctx, &mut out);
+        let res = shard.commit(ectx, 0, &mut out, outbound);
+        shard.out_storage = out.into_storage();
+        res?;
+        let vote = nodes[li].done();
+        shard.done[li] = vote;
+        if !vote {
+            shard.not_done += 1;
+            shard.schedule(v);
         }
     }
     Ok(())
+}
+
+/// One round over one shard: invokes the promoted active set in ascending
+/// node-id order, gathering each inbox from the slot arena and committing
+/// each outbox. `nodes` is the shard-local slice.
+///
+/// # Errors
+///
+/// Returns the violation of the lowest-id erroring node in this shard;
+/// active nodes after it are not invoked (matching the sequential order).
+pub(crate) fn invoke_round<P: Protocol>(
+    ectx: &EngineCtx<'_>,
+    round: u64,
+    shard: &mut ShardState<P::Msg>,
+    nodes: &mut [P],
+    outbound: &mut [Vec<RemoteMsg<P::Msg>>],
+) -> Result<(), SimError> {
+    let n = ectx.g.n();
+    let cur_active = std::mem::take(&mut shard.cur_active);
+    let mut res = Ok(());
+    for &v in &cur_active {
+        let li = shard.local(v);
+        let ctx = NodeCtx::new(NodeId(v), n, round, ectx.g);
+        shard.gather_inbox(ectx.g, ectx.topo, v);
+        let was_done = shard.done[li];
+        if was_done && !shard.inbox.is_empty() {
+            shard.stats.wakeups += 1;
+        }
+        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut shard.out_storage));
+        nodes[li].round(&ctx, &shard.inbox, &mut out);
+        shard.stats.activations += 1;
+        res = shard.commit(ectx, round, &mut out, outbound);
+        shard.out_storage = out.into_storage();
+        if res.is_err() {
+            break;
+        }
+        let vote = nodes[li].done();
+        if vote != was_done {
+            shard.done[li] = vote;
+            if vote {
+                shard.not_done -= 1;
+            } else {
+                shard.not_done += 1;
+            }
+        }
+        if !vote {
+            shard.schedule(v);
+        }
+    }
+    shard.cur_active = cur_active;
+    res
 }

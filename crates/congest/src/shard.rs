@@ -1,0 +1,368 @@
+//! The sharded deterministic executor: parallel CONGEST rounds that stay
+//! bit-identical to the single-threaded engines.
+//!
+//! [`run_sharded`] partitions the CSR node arena into contiguous,
+//! slot-balanced shards — one per worker thread — and runs every round as
+//!
+//! 1. **compute phase**: each worker drains its shard's active set in
+//!    ascending node-id order, exactly like the single-threaded scheduler
+//!    ([`crate::run`]); same-shard deliveries are written straight into
+//!    the shard's `next` slot segment, cross-shard deliveries are
+//!    validated, metered, and queued per destination shard;
+//! 2. **barrier**, then **merge phase**: each worker drains the queues
+//!    addressed to it in ascending source-shard order — which, because
+//!    shards are contiguous ascending node ranges and each worker commits
+//!    in ascending node order, is exactly ascending `(sender id, edge
+//!    id)` order — writing each message into its unique per-directed-edge
+//!    slot and scheduling the receiver;
+//! 3. **barrier**, then a replicated **termination decision** from the
+//!    per-worker in-flight/not-done/error counters every worker published
+//!    before the barrier.
+//!
+//! # Why the outcome is bit-identical
+//!
+//! Synchronous-round semantics make round `r` a pure function of the
+//! state after round `r − 1`: a node's inbox (gathered from its own slot
+//! segment in adjacency order, i.e. ascending sender id) and its state do
+//! not depend on *when* other nodes run within the round. Each
+//! per-directed-edge slot has exactly one legal writer per round, so slot
+//! contents are independent of shard layout; [`crate::RunMetrics`] are
+//! commutative folds (sums and a max) over the layout-independent message
+//! multiset; and commit-time model violations are node-local verdicts, so
+//! the run aborts with the verdict of the smallest erroring node id — the
+//! same error the sequential executors report. The equivalence is
+//! property-tested across thread counts in
+//! `tests/scheduler_equivalence.rs`.
+//!
+//! The replicated decision is race-free by construction: every worker
+//! publishes its counters *before* the post-merge barrier and reads all
+//! of them *after* it, and no worker overwrites its slot again until
+//! after the *next* pre-merge barrier — which it can only reach once all
+//! workers have finished deciding.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use dsf_graph::WeightedGraph;
+
+use crate::buffers::{CsrTopology, EngineCtx, RemoteMsg, RunBuffers, ShardState};
+use crate::executor::{CongestConfig, Protocol, RunMetrics, RunResult, SchedStats, SimError};
+use crate::scheduler::{invoke_init, invoke_round, run_with_buffers};
+
+/// Process-wide default worker-thread count used by [`crate::run`];
+/// 0 = not yet initialized from the environment.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker-thread count [`crate::run`] dispatches on: the value of the
+/// `DSF_THREADS` environment variable at first use (clamped to ≥ 1,
+/// default 1), unless overridden via [`set_default_threads`]. Thread
+/// count never changes any deterministic outcome — it is a wall-clock
+/// knob only.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let t = std::env::var("DSF_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(1)
+                .max(1);
+            DEFAULT_THREADS.store(t, Ordering::Relaxed);
+            t
+        }
+        t => t,
+    }
+}
+
+/// Overrides the worker-thread count [`crate::run`] uses from now on
+/// (clamped to ≥ 1). Safe to flip at any time — runs are bit-identical
+/// across thread counts, so concurrent readers observe no behavioral
+/// difference.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// How a worker left the round loop. All workers take the same exit in
+/// the same round (the decision is a pure function of replicated data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Network quiet and all votes done.
+    Quiesced,
+    /// A model violation was recorded; the run returns it.
+    Aborted,
+    /// `cfg.max_rounds` exceeded.
+    MaxRounds,
+}
+
+/// State shared by all workers of one run.
+struct SharedSync<M> {
+    /// Two-phase barrier (pre-merge, post-merge).
+    barrier: Barrier,
+    /// `t × t` cross-shard queues; `mailboxes[src * t + dst]` carries the
+    /// messages shard `src` committed for shard `dst` this round. Each is
+    /// locked exactly twice per round (producer swap-in, consumer drain),
+    /// never contended past that handoff.
+    mailboxes: Vec<Mutex<Vec<RemoteMsg<M>>>>,
+    /// Per-worker `[in_flight, not_done, erred]` counters for the
+    /// replicated termination decision. Written by the owner before the
+    /// post-merge barrier, read by everyone after it.
+    published: Vec<[AtomicU64; 3]>,
+    /// The lowest-node-id model violation observed across shards; the
+    /// value the run aborts with.
+    first_error: Mutex<Option<(u32, SimError)>>,
+}
+
+/// The node a commit-time violation is attributed to (all commit errors
+/// name their sender).
+fn error_node(e: &SimError) -> u32 {
+    match e {
+        SimError::BandwidthExceeded { from, .. }
+        | SimError::DuplicateSend { from, .. }
+        | SimError::NotANeighbor { from, .. } => from.0,
+        // Raised by the loop control / entry checks, never by a commit.
+        SimError::MaxRoundsExceeded { .. } | SimError::WrongNodeCount { .. } => {
+            unreachable!("not a commit error")
+        }
+    }
+}
+
+/// Records `e` as the run's error iff its node precedes the current one —
+/// reproducing the sequential executors, which stop at the first erroring
+/// node in ascending id order.
+fn record_error(slot: &Mutex<Option<(u32, SimError)>>, e: SimError) {
+    let node = error_node(&e);
+    let mut guard = slot.lock().expect("no worker panics while recording");
+    if guard.as_ref().is_none_or(|(n, _)| node < *n) {
+        *guard = Some((node, e));
+    }
+}
+
+/// Executes `nodes` on `g` until quiescence with `threads` worker
+/// threads, bit-identical to [`crate::run`] and [`crate::run_reference`]
+/// in [`RunMetrics`], final states, and errors (see the module docs for
+/// the argument; `threads` is clamped to `1..=n`). `threads == 1` runs
+/// the single-threaded scheduler directly.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by model enforcement — the same
+/// error the sequential executors raise on the same protocol.
+pub fn run_sharded<P>(
+    g: &WeightedGraph,
+    nodes: Vec<P>,
+    cfg: &CongestConfig,
+    threads: usize,
+) -> Result<RunResult<P>, SimError>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
+    let n = g.n();
+    if nodes.len() != n {
+        return Err(SimError::WrongNodeCount {
+            expected: n,
+            got: nodes.len(),
+        });
+    }
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut buffers = RunBuffers::for_graph(g);
+        return run_with_buffers(g, nodes, cfg, &mut buffers);
+    }
+
+    let topo = CsrTopology::build(g);
+    let bounds = topo.shard_bounds(threads);
+    let t = bounds.len() - 1;
+    let shards: Vec<ShardState<P::Msg>> = (0..t)
+        .map(|s| ShardState::new(&topo, bounds[s], bounds[s + 1]))
+        .collect();
+    let chunks = split_nodes(nodes, &bounds);
+    let sync = SharedSync {
+        barrier: Barrier::new(t),
+        mailboxes: (0..t * t).map(|_| Mutex::new(Vec::new())).collect(),
+        published: (0..t)
+            .map(|_| [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)])
+            .collect(),
+        first_error: Mutex::new(None),
+    };
+
+    let results: Vec<(Outcome, ShardState<P::Msg>, Vec<P>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .zip(chunks)
+            .enumerate()
+            .map(|(me, (shard, chunk))| {
+                let (topo, bounds, sync) = (&topo, &bounds[..], &sync);
+                scope.spawn(move || {
+                    let ectx = EngineCtx {
+                        g,
+                        topo,
+                        cfg,
+                        bounds,
+                    };
+                    worker(me, shard, chunk, &ectx, sync)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // A protocol callback panicked on that worker: re-raise
+                // the original payload, exactly as the sequential
+                // engines would have (the worker already steered every
+                // other worker out of the barrier protocol first).
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    if let Some((_, e)) = sync.first_error.into_inner().expect("workers joined") {
+        return Err(e);
+    }
+    if results[0].0 == Outcome::MaxRounds {
+        return Err(SimError::MaxRoundsExceeded {
+            limit: cfg.max_rounds,
+        });
+    }
+    let mut states = Vec::with_capacity(n);
+    let mut metrics = RunMetrics::default();
+    let mut stats = SchedStats::default();
+    for (_, shard, chunk) in results {
+        states.extend(chunk);
+        metrics.rounds = metrics.rounds.max(shard.metrics.rounds);
+        metrics.messages += shard.metrics.messages;
+        metrics.total_bits += shard.metrics.total_bits;
+        metrics.max_message_bits = metrics.max_message_bits.max(shard.metrics.max_message_bits);
+        metrics.cut_bits += shard.metrics.cut_bits;
+        stats.activations += shard.stats.activations;
+        stats.wakeups += shard.stats.wakeups;
+    }
+    Ok(RunResult {
+        states,
+        metrics,
+        stats,
+    })
+}
+
+/// Splits the node vector into per-shard chunks along `bounds` with O(n)
+/// total moves.
+fn split_nodes<P>(nodes: Vec<P>, bounds: &[u32]) -> Vec<Vec<P>> {
+    let t = bounds.len() - 1;
+    let mut chunks = Vec::with_capacity(t);
+    let mut rest = nodes;
+    for s in (1..t).rev() {
+        chunks.push(rest.split_off(bounds[s] as usize));
+    }
+    chunks.push(rest);
+    chunks.reverse();
+    chunks
+}
+
+/// One worker's run: round 0 (init) on its shard, then the
+/// compute → barrier → merge → barrier → decide loop until every worker
+/// takes the same exit.
+fn worker<P: Protocol>(
+    me: usize,
+    mut shard: ShardState<P::Msg>,
+    mut nodes: Vec<P>,
+    ectx: &EngineCtx<'_>,
+    sync: &SharedSync<P::Msg>,
+) -> (Outcome, ShardState<P::Msg>, Vec<P>) {
+    let t = ectx.bounds.len() - 1;
+    let mut outbound: Vec<Vec<RemoteMsg<P::Msg>>> = (0..t).map(|_| Vec::new()).collect();
+    let mut erred = false;
+    // A panic caught in a protocol callback. Unwinding out of the round
+    // loop directly would strand every other worker in `Barrier::wait`
+    // forever; instead the panic is held, the round is flagged as erred
+    // so the abort decision is collective, and the payload is re-raised
+    // only after the last barrier (see the `Aborted` exit).
+    let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut round = 0u64;
+
+    // Round 0: init the owned nodes. On a violation, stop computing but
+    // keep participating in the barriers so the abort is collective.
+    match catch_unwind(AssertUnwindSafe(|| {
+        invoke_init(ectx, &mut shard, &mut nodes, &mut outbound)
+    })) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            record_error(&sync.first_error, e);
+            erred = true;
+        }
+        Err(payload) => {
+            panicked = Some(payload);
+            erred = true;
+        }
+    }
+
+    loop {
+        // Hand this round's cross-shard messages to their owners; the
+        // swap recycles the storage the receiver drained last round.
+        for (dst, q) in outbound.iter_mut().enumerate() {
+            if dst != me {
+                std::mem::swap(
+                    q,
+                    &mut *sync.mailboxes[me * t + dst].lock().expect("no panics"),
+                );
+            }
+        }
+        sync.barrier.wait(); // all sends visible
+        for src in 0..t {
+            if src == me {
+                continue;
+            }
+            let mut q = sync.mailboxes[src * t + me].lock().expect("no panics");
+            for m in q.drain(..) {
+                shard.deliver_remote(m);
+            }
+        }
+        // Publish this shard's decision inputs. Plain stores suffice: the
+        // barriers on either side order them against every reader.
+        sync.published[me][0].store(shard.in_flight, Ordering::Relaxed);
+        sync.published[me][1].store(shard.not_done as u64, Ordering::Relaxed);
+        sync.published[me][2].store(u64::from(erred), Ordering::Relaxed);
+        sync.barrier.wait(); // all counters visible
+                             // Replicated decision — same inputs, same verdict, on every
+                             // worker; no slot is overwritten until after the next pre-merge
+                             // barrier, which requires everyone to have decided.
+        let mut in_flight = 0u64;
+        let mut not_done = 0u64;
+        let mut any_err = false;
+        for p in &sync.published {
+            in_flight += p[0].load(Ordering::Relaxed);
+            not_done += p[1].load(Ordering::Relaxed);
+            any_err |= p[2].load(Ordering::Relaxed) != 0;
+        }
+        if any_err {
+            // Past the last barrier: every worker is taking this exit,
+            // so re-raising a held panic can no longer strand anyone.
+            if let Some(payload) = panicked {
+                resume_unwind(payload);
+            }
+            return (Outcome::Aborted, shard, nodes);
+        }
+        if in_flight == 0 && not_done == 0 {
+            return (Outcome::Quiesced, shard, nodes);
+        }
+        round += 1;
+        if round > ectx.cfg.max_rounds {
+            return (Outcome::MaxRounds, shard, nodes);
+        }
+        shard.promote();
+        match catch_unwind(AssertUnwindSafe(|| {
+            invoke_round(ectx, round, &mut shard, &mut nodes, &mut outbound)
+        })) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                record_error(&sync.first_error, e);
+                erred = true;
+            }
+            Err(payload) => {
+                panicked = Some(payload);
+                erred = true;
+            }
+        }
+        shard.metrics.rounds = round;
+    }
+}

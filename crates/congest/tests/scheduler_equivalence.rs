@@ -1,18 +1,24 @@
-//! The event-driven scheduler must be observationally identical to the
-//! naive reference executor: bit-identical [`RunMetrics`] and final node
-//! states on every contract-abiding protocol. Property-tested here with a
-//! randomized token-hopping protocol over random graphs, plus directed
-//! regression tests for the wake-on-late-message path and buffer reuse.
+//! The event-driven scheduler and the sharded executor must be
+//! observationally identical to the naive reference executor:
+//! bit-identical [`RunMetrics`] and final node states on every
+//! contract-abiding protocol, at every worker-thread count.
+//! Property-tested here with a randomized token-hopping protocol over
+//! random graphs, plus directed regression tests for the
+//! wake-on-late-message path, `done()` re-arming, duplicate-send error
+//! precedence, cross-shard error ordering, and buffer reuse.
 
 use std::collections::VecDeque;
 
 use proptest::prelude::*;
 
 use dsf_congest::{
-    run, run_reference, run_with_buffers, CongestConfig, Message, NodeCtx, Outbox, Protocol,
-    RunBuffers,
+    run, run_reference, run_sharded, run_with_buffers, CongestConfig, Message, NodeCtx, Outbox,
+    Protocol, RunBuffers, SimError,
 };
 use dsf_graph::{generators, NodeId, WeightedGraph};
+
+/// The worker-thread counts the acceptance matrix sweeps.
+const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
 
 fn splitmix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -137,6 +143,31 @@ proptest! {
         prop_assert!(a.stats.activations <= b.stats.activations);
     }
 
+    /// The tentpole acceptance bar: the sharded executor is bit-identical
+    /// to the reference (and, in scheduler work counters, to the
+    /// single-threaded event engine) at every thread count in the matrix.
+    #[test]
+    fn sharded_executor_matches_reference(
+        seed in 0u64..100_000,
+        n in 2usize..40,
+        p in 0.1f64..0.6,
+        tokens in 1usize..12,
+        ttl in 0u32..40,
+    ) {
+        let g = generators::gnp_connected(n, p, 9, seed);
+        let cfg = CongestConfig::for_graph(&g);
+        let rf = run_reference(&g, hop_nodes(&g, seed, tokens, ttl), &cfg).unwrap();
+        let ev = run(&g, hop_nodes(&g, seed, tokens, ttl), &cfg).unwrap();
+        for threads in THREAD_MATRIX {
+            let sh = run_sharded(&g, hop_nodes(&g, seed, tokens, ttl), &cfg, threads).unwrap();
+            prop_assert_eq!(&sh.metrics, &rf.metrics, "threads {}", threads);
+            prop_assert_eq!(&sh.states, &rf.states, "threads {}", threads);
+            // The active sets are layout-independent, so the sharded
+            // engine performs exactly the event engine's invocations.
+            prop_assert_eq!(sh.stats, ev.stats, "threads {}", threads);
+        }
+    }
+
     /// Reusing one `RunBuffers` across runs — and across *different*
     /// graphs — must not change any observable outcome.
     #[test]
@@ -255,6 +286,286 @@ fn done_node_woken_by_late_message_reruns() {
     // busy rounds plus the single wake-up were executed.
     assert_eq!(ev.stats.activations, 6);
     assert_eq!(rf.stats.activations, 2 * rf.metrics.rounds);
+}
+
+/// Regression (sharded): the wake-on-late-message path crosses a shard
+/// boundary — with 2+ shards on a 2-node path, the poker and the sleeper
+/// live on different workers, so the wake must flow through the
+/// cross-shard merge phase.
+#[test]
+fn done_node_woken_across_shard_boundary() {
+    let g = generators::path(2, 1);
+    let cfg = CongestConfig::for_graph(&g);
+    let mk = || {
+        vec![
+            WakeNode::Poker(Poker { countdown: 5 }),
+            WakeNode::Sleeper(Sleeper { woken: 0 }),
+        ]
+    };
+    let rf = run_reference(&g, mk(), &cfg).unwrap();
+    for threads in THREAD_MATRIX {
+        let sh = run_sharded(&g, mk(), &cfg, threads).unwrap();
+        assert_eq!(sh.metrics, rf.metrics, "threads {threads}");
+        assert_eq!(sh.states, rf.states, "threads {threads}");
+        assert_eq!(sh.stats.wakeups, 1, "threads {threads}");
+        assert_eq!(sh.stats.activations, 6, "threads {threads}");
+    }
+}
+
+/// A relay that re-arms its `done` vote: idle (done) until a message
+/// arrives, then busy (not done) for two silent rounds, then it forwards
+/// one token to its next higher-id neighbor and goes idle again. A chain
+/// of these exercises done → not-done → done transitions on every node,
+/// across shard boundaries.
+#[derive(Debug, PartialEq)]
+struct Relay {
+    /// Rounds of local work remaining (`None` = idle and done).
+    busy: Option<u32>,
+    woken: u32,
+}
+
+impl Relay {
+    fn forward(ctx: &NodeCtx, out: &mut Outbox<Token>) {
+        if let Some(&(nb, _)) = ctx.neighbors().iter().find(|&&(nb, _)| nb > ctx.id) {
+            out.send(nb, Token { ttl: 0, tag: 1 });
+        }
+    }
+}
+
+impl Protocol for Relay {
+    type Msg = Token;
+    fn init(&mut self, ctx: &NodeCtx, _: &mut Outbox<Token>) {
+        if ctx.id == NodeId(0) {
+            self.busy = Some(2);
+        }
+    }
+    fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Token)], out: &mut Outbox<Token>) {
+        if !inbox.is_empty() {
+            self.woken += 1;
+            if self.busy.is_none() {
+                self.busy = Some(2);
+            }
+        }
+        self.busy = match self.busy {
+            Some(0) => {
+                Self::forward(ctx, out);
+                None
+            }
+            Some(k) => Some(k - 1),
+            None => None,
+        };
+    }
+    fn done(&self) -> bool {
+        self.busy.is_none()
+    }
+}
+
+/// Regression: `done()` re-arming — a woken node that turns not-done must
+/// keep being scheduled through its busy rounds (without deliveries), in
+/// every engine and at every thread count, even when the relay chain
+/// crosses shard boundaries.
+#[test]
+fn done_rearm_relay_chain_is_engine_invariant() {
+    let n = 9;
+    let g = generators::path(n, 1);
+    let cfg = CongestConfig::for_graph(&g);
+    let mk = || {
+        (0..n)
+            .map(|_| Relay {
+                busy: None,
+                woken: 0,
+            })
+            .collect::<Vec<_>>()
+    };
+    let rf = run_reference(&g, mk(), &cfg).unwrap();
+    let ev = run(&g, mk(), &cfg).unwrap();
+    assert_eq!(ev.metrics, rf.metrics);
+    assert_eq!(ev.states, rf.states);
+    // Every node except the head was woken exactly once.
+    for (v, st) in rf.states.iter().enumerate() {
+        assert_eq!(st.woken, u32::from(v > 0), "node {v}");
+    }
+    for threads in THREAD_MATRIX {
+        let sh = run_sharded(&g, mk(), &cfg, threads).unwrap();
+        assert_eq!(sh.metrics, rf.metrics, "threads {threads}");
+        assert_eq!(sh.states, rf.states, "threads {threads}");
+        assert_eq!(sh.stats, ev.stats, "threads {threads}");
+    }
+}
+
+/// A variable-size message for the error-precedence tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Blob(usize);
+
+impl Message for Blob {
+    fn encoded_bits(&self) -> usize {
+        self.0
+    }
+}
+
+/// Misbehaves during init according to `mode`: 1 = duplicate send to the
+/// first neighbor, 2 = duplicate send to an in-graph *non-neighbor*,
+/// 3 = over-budget message.
+#[derive(Debug)]
+struct Erratic {
+    mode: u8,
+    oversize: usize,
+}
+
+impl Protocol for Erratic {
+    type Msg = Blob;
+    fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Blob>) {
+        match self.mode {
+            1 => {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(1));
+                out.send(nb, Blob(1));
+            }
+            2 => {
+                // A node at hop distance 2 on a path: in the graph, not
+                // adjacent.
+                let far = NodeId(if ctx.id.0 >= 2 {
+                    ctx.id.0 - 2
+                } else {
+                    ctx.id.0 + 2
+                });
+                out.send(far, Blob(1));
+                out.send(far, Blob(1));
+            }
+            3 => {
+                let (nb, _) = ctx.neighbors()[0];
+                out.send(nb, Blob(self.oversize));
+            }
+            _ => {}
+        }
+    }
+    fn round(&mut self, _: &NodeCtx, _: &[(NodeId, Blob)], _: &mut Outbox<Blob>) {}
+    fn done(&self) -> bool {
+        true
+    }
+}
+
+fn erratic_nodes(n: usize, modes: &[(usize, u8)], oversize: usize) -> Vec<Erratic> {
+    (0..n)
+        .map(|v| Erratic {
+            mode: modes
+                .iter()
+                .find(|&&(at, _)| at == v)
+                .map_or(0, |&(_, m)| m),
+            oversize,
+        })
+        .collect()
+}
+
+/// Regression: a duplicate send to a *non-neighbor* must still surface as
+/// `DuplicateSend`, not `NotANeighbor` — the duplicate pass precedes
+/// model enforcement in every engine. (Pins the sender-side duplicate
+/// marks, which cannot mark non-adjacent targets and fall back to a
+/// scan.)
+#[test]
+fn duplicate_to_non_neighbor_beats_not_a_neighbor() {
+    let g = generators::path(5, 1);
+    let cfg = CongestConfig::for_graph(&g);
+    let expected = SimError::DuplicateSend {
+        from: NodeId(0),
+        to: NodeId(2),
+        round: 0,
+    };
+    let err = run_reference(&g, erratic_nodes(5, &[(0, 2)], 0), &cfg).unwrap_err();
+    assert_eq!(err, expected);
+    let err = run(&g, erratic_nodes(5, &[(0, 2)], 0), &cfg).unwrap_err();
+    assert_eq!(err, expected);
+    for threads in THREAD_MATRIX {
+        let err = run_sharded(&g, erratic_nodes(5, &[(0, 2)], 0), &cfg, threads).unwrap_err();
+        assert_eq!(err, expected, "threads {threads}");
+    }
+}
+
+/// Regression: when nodes in *different shards* both violate the model in
+/// the same round, every engine reports the violation of the lowest node
+/// id — the one the sequential executors hit first.
+#[test]
+fn lowest_node_error_wins_across_shards() {
+    let n = 40;
+    let g = generators::path(n, 1);
+    let cfg = CongestConfig::for_graph(&g);
+    let oversize = cfg.bandwidth_bits + 1;
+    // Node 3 over-budget, node 35 duplicate: node 3's error must win ...
+    let expected = SimError::BandwidthExceeded {
+        from: NodeId(3),
+        to: NodeId(2),
+        bits: oversize,
+        budget: cfg.bandwidth_bits,
+        round: 0,
+    };
+    let modes: &[(usize, u8)] = &[(3, 3), (35, 1)];
+    let err = run_reference(&g, erratic_nodes(n, modes, oversize), &cfg).unwrap_err();
+    assert_eq!(err, expected);
+    for threads in THREAD_MATRIX {
+        let err = run_sharded(&g, erratic_nodes(n, modes, oversize), &cfg, threads).unwrap_err();
+        assert_eq!(err, expected, "threads {threads}");
+    }
+    // ... and with the roles swapped, node 3's duplicate wins instead.
+    let expected = SimError::DuplicateSend {
+        from: NodeId(3),
+        to: NodeId(2),
+        round: 0,
+    };
+    let modes: &[(usize, u8)] = &[(3, 1), (35, 3)];
+    let err = run_reference(&g, erratic_nodes(n, modes, oversize), &cfg).unwrap_err();
+    assert_eq!(err, expected);
+    for threads in THREAD_MATRIX {
+        let err = run_sharded(&g, erratic_nodes(n, modes, oversize), &cfg, threads).unwrap_err();
+        assert_eq!(err, expected, "threads {threads}");
+    }
+}
+
+/// Counts down a few busy rounds; one designated node panics mid-run.
+#[derive(Debug)]
+struct PanicNode {
+    countdown: u32,
+    bomb: bool,
+}
+
+impl Protocol for PanicNode {
+    type Msg = Token;
+    fn init(&mut self, _: &NodeCtx, _: &mut Outbox<Token>) {}
+    fn round(&mut self, _: &NodeCtx, _: &[(NodeId, Token)], _: &mut Outbox<Token>) {
+        if self.countdown > 0 {
+            self.countdown -= 1;
+        }
+        if self.bomb && self.countdown == 2 {
+            panic!("protocol bomb");
+        }
+    }
+    fn done(&self) -> bool {
+        self.countdown == 0
+    }
+}
+
+/// Regression: a panic inside a protocol callback on one worker must
+/// propagate out of `run_sharded` like it does out of the sequential
+/// engines — not strand the other workers in the barrier forever. (The
+/// worker holds the payload, steers everyone into the collective abort,
+/// and re-raises only after the last barrier.)
+#[test]
+fn worker_panic_propagates_instead_of_deadlocking() {
+    let g = generators::path(12, 1);
+    let cfg = CongestConfig::for_graph(&g);
+    let mk = || {
+        (0..12)
+            .map(|v| PanicNode {
+                countdown: 4,
+                bomb: v == 5,
+            })
+            .collect::<Vec<_>>()
+    };
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_sharded(&g, mk(), &cfg, 4)
+    }));
+    let payload = res.expect_err("the protocol panic must propagate to the caller");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "protocol bomb", "original panic payload is preserved");
 }
 
 /// The headline scaling claim on a sparse wave workload: a BFS-style wave

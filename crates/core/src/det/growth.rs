@@ -20,9 +20,9 @@
 //! resulting round counts against the plain Theorem-4.17 driver as `t`
 //! grows.
 
-use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use dsf_congest::{CongestConfig, RoundLedger, SimError};
 use dsf_graph::dyadic::Dyadic;
@@ -215,13 +215,16 @@ pub fn solve_growth(
             .map(|i| book.moats.find_const(i) as u32)
             .collect();
         let mut sim = book.clone();
-        let hit_checkpoint = Rc::new(Cell::new(false));
+        // `Arc<AtomicBool>` rather than `Rc<Cell<_>>`: the closure is
+        // owned by a protocol node, and protocol nodes must be `Send` so
+        // the sharded executor may run them on worker threads.
+        let hit_checkpoint = Arc::new(AtomicBool::new(false));
         let hit_flag = hit_checkpoint.clone();
         let verdict = move |c: &UpcastCandidate| {
             // Algorithm 2 line 16 merges only while elapsed + μ < μ̂
             // *strictly*; equality belongs to the checkpoint.
             if c.mu >= remaining {
-                hit_flag.set(true);
+                hit_flag.store(true, Ordering::Relaxed);
                 return UpcastRootVerdict::StopBefore;
             }
             let involved_inactive = sim.apply_deferred(c.a as usize, c.b as usize);
@@ -250,7 +253,7 @@ pub fn solve_growth(
         );
         // A drained stream without a stop also means "no merge before the
         // checkpoint" (e.g. a lone active moat with no candidates left).
-        let checkpoint = hit_checkpoint.get() || !up.stopped_early;
+        let checkpoint = hit_checkpoint.load(Ordering::Relaxed) || !up.stopped_early;
         let mu_step = if checkpoint {
             remaining
         } else {

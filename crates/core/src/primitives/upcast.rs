@@ -85,8 +85,10 @@ pub enum UpcastRootVerdict {
 pub enum UpcastMode<'a> {
     /// Drain the entire stream.
     DrainAll,
-    /// Ask the verdict function after each accepted candidate.
-    PhaseDetect(Box<dyn FnMut(&UpcastCandidate) -> UpcastRootVerdict + 'a>),
+    /// Ask the verdict function after each accepted candidate. The
+    /// closure is `Send` because it lives inside a protocol node, which
+    /// the sharded executor may move to a worker thread.
+    PhaseDetect(Box<dyn FnMut(&UpcastCandidate) -> UpcastRootVerdict + Send + 'a>),
 }
 
 struct UpcastNode<'a> {

@@ -13,11 +13,14 @@ use std::collections::BinaryHeap;
 
 use crate::{EdgeId, NodeId, Weight, WeightedGraph, INF};
 
-/// Result of a single-source shortest-path computation.
+/// Result of a (possibly multi-source) shortest-path computation.
 #[derive(Debug, Clone)]
 pub struct ShortestPaths {
-    /// Source node.
-    pub source: NodeId,
+    /// The source set, in the order given to [`multi_source`] (a single
+    /// element for [`shortest_paths`]). Previously a single `source`
+    /// field that silently reported only the first source of a
+    /// multi-source run.
+    pub sources: Vec<NodeId>,
     /// `dist[v]`: weighted distance from the source ([`INF`] if unreachable).
     pub dist: Vec<Weight>,
     /// `hops[v]`: number of edges on the tie-broken shortest path.
@@ -88,7 +91,22 @@ pub fn multi_source(g: &WeightedGraph, sources: &[NodeId]) -> ShortestPaths {
             continue;
         }
         for &(u, e) in g.neighbors(v) {
-            let nd = d + g.weight(e);
+            // Checked instead of the old unchecked add, which could wrap
+            // on heavy-tailed weights at scale and produce bogus *small*
+            // distances. A u64 wrap is always a caller bug (debug
+            // assert); a sum that merely reaches the INF sentinel is
+            // clamped and treated as unreachable, keeping the
+            // `dist < INF ⇔ reachable` invariant.
+            let sum = d.checked_add(g.weight(e));
+            debug_assert!(
+                sum.is_some(),
+                "path weight overflow: {d} + {} wraps u64",
+                g.weight(e)
+            );
+            let nd = sum.unwrap_or(Weight::MAX).min(INF);
+            if nd >= INF {
+                continue;
+            }
             let nh = h + 1;
             let better = (nd, nh) < (dist[u.idx()], hops[u.idx()])
                 || ((nd, nh) == (dist[u.idx()], hops[u.idx()])
@@ -102,7 +120,7 @@ pub fn multi_source(g: &WeightedGraph, sources: &[NodeId]) -> ShortestPaths {
         }
     }
     ShortestPaths {
-        source: *sources.first().unwrap_or(&NodeId(0)),
+        sources: sources.to_vec(),
         dist,
         hops,
         parent,
@@ -177,6 +195,41 @@ mod tests {
         // Node 2 is equidistant; the smaller parent id wins the tie, so it
         // is owned via node 1 -> source 0.
         assert_eq!(owner[2], Some(NodeId(0)));
+    }
+
+    #[test]
+    fn sources_field_reports_all_sources() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let sp = multi_source(&g, &[NodeId(4), NodeId(0)]);
+        assert_eq!(sp.sources, vec![NodeId(4), NodeId(0)]);
+        let sp = shortest_paths(&g, NodeId(3));
+        assert_eq!(sp.sources, vec![NodeId(3)]);
+    }
+
+    /// Heavy-tailed weights whose path sums exceed the INF sentinel must
+    /// clamp to "unreachable" instead of wrapping into bogus small
+    /// distances (the old unchecked `d + w`).
+    #[test]
+    fn near_inf_weights_clamp_instead_of_wrapping() {
+        // 0 -huge- 1 -huge- 2: the two-edge path sum exceeds INF (but
+        // not u64), so node 2 is "unreachable" from 0; node 1 is at a
+        // finite (huge) distance.
+        let huge = INF - 1;
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), huge).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), huge).unwrap();
+        let g = b.build().unwrap();
+        let sp = shortest_paths(&g, NodeId(0));
+        assert_eq!(sp.dist[1], huge);
+        assert_eq!(sp.dist[2], INF, "saturated distance must read unreachable");
+        assert_eq!(sp.parent[2], None);
+        // The unchecked add would have produced 2*(INF-1) ≈ u64::MAX/2,
+        // which still compares as "reachable" nonsense.
+        assert!(sp.dist[2] >= INF);
     }
 
     #[test]
