@@ -21,6 +21,22 @@ pub struct CollectOutput {
 /// this is a pipelined gather+broadcast, `O(m + D)` rounds), then each node
 /// locally runs Algorithm 1 — equivalently, the root solves and broadcasts.
 ///
+/// # Example
+///
+/// ```
+/// use dsf_baselines::solve_collect_at_root;
+/// use dsf_graph::{generators, NodeId};
+/// use dsf_steiner::InstanceBuilder;
+///
+/// let g = generators::grid(3, 5, 6, 2);
+/// let inst = InstanceBuilder::new(&g)
+///     .component(&[NodeId(0), NodeId(14)])
+///     .build()
+///     .unwrap();
+/// let out = solve_collect_at_root(&g, &inst).unwrap();
+/// assert!(inst.is_feasible(&g, &out.forest));
+/// ```
+///
 /// # Errors
 ///
 /// Propagates simulator errors.

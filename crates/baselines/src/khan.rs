@@ -43,6 +43,23 @@ pub struct KhanOutput {
 
 /// Runs the \[14\] baseline.
 ///
+/// # Example
+///
+/// ```
+/// use dsf_baselines::khan::{solve_khan, KhanConfig};
+/// use dsf_graph::{generators, NodeId};
+/// use dsf_steiner::InstanceBuilder;
+///
+/// let g = generators::gnp_connected(16, 0.25, 9, 5);
+/// let inst = InstanceBuilder::new(&g)
+///     .component(&[NodeId(0), NodeId(11)])
+///     .build()
+///     .unwrap();
+/// let cfg = KhanConfig { seed: 3, repetitions: 2 };
+/// let out = solve_khan(&g, &inst, &cfg).unwrap();
+/// assert!(inst.is_feasible(&g, &out.forest));
+/// ```
+///
 /// # Errors
 ///
 /// Propagates simulator errors.

@@ -9,8 +9,32 @@
 //!   Section 5) — experiment E4 plots the crossover.
 //! * [`collect`] — the trivial coordinator algorithm: ship every edge to
 //!   the BFS root (`O(m + D)` rounds pipelined), solve centrally with the
-//!   2-approximate moat grower, broadcast the answer. A sanity baseline
-//!   for both quality and rounds.
+//!   2-approximate moat grower, broadcast the answer. A sanity baseline:
+//!   the differential oracle requires it to reproduce centralized
+//!   Algorithm 1 *exactly*.
+//!
+//! Both baselines run message-by-message in the enforced [`dsf_congest`]
+//! simulator (B-bit budget, auditable ledger) and are seeded-
+//! deterministic, so the experiment crossovers (E4/E11) are reproducible
+//! bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use dsf_baselines::solve_collect_at_root;
+//! use dsf_graph::{generators, NodeId};
+//! use dsf_steiner::InstanceBuilder;
+//!
+//! let g = generators::gnp_connected(18, 0.25, 9, 4);
+//! let inst = InstanceBuilder::new(&g)
+//!     .component(&[NodeId(0), NodeId(9)])
+//!     .build()
+//!     .unwrap();
+//! let out = solve_collect_at_root(&g, &inst).unwrap();
+//! assert!(inst.is_feasible(&g, &out.forest));
+//! // Collecting m edges at the root dominates the round count.
+//! assert!(out.rounds.total() > 0);
+//! ```
 
 pub mod collect;
 pub mod khan;

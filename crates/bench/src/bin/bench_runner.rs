@@ -4,6 +4,7 @@
 //! bench_runner [--quick] [--out PATH] [--check BASELINE]   # executor mode
 //! bench_runner --scale [--quick] [--out PATH]              # scale mode
 //! bench_runner --conformance [--quick] [--out PATH]        # conformance mode
+//! bench_runner --service [--quick] [--out PATH]            # service mode
 //! ```
 //!
 //! **Executor mode** (default) times the execution engines and solvers and
@@ -26,17 +27,27 @@
 //! non-zero when any solver violates feasibility, determinism, the
 //! certified ratio bounds, or the CONGEST bandwidth budget.
 //!
+//! **Service mode** (`--service`) benchmarks the batched solver service
+//! (`dsf-service`) over the workloads corpus at batch sizes {1, 16, 256}
+//! and worker counts {1, 4}, writing `BENCH_service.json` (throughput in
+//! solves/sec). Two guarantees are asserted in-harness before any entry
+//! is emitted: batched results are bit-identical to one-at-a-time solves,
+//! and warm sessions allocate no arenas. Like scale mode there is no
+//! baseline (`--check` is rejected) — wall-clock is the product.
+//!
 //! Unknown flags are rejected with a usage message (exit code 2).
 
 use std::process::ExitCode;
 
 use dsf_bench::conformance;
 use dsf_bench::perf::{self, BenchReport};
+use dsf_bench::service;
 
 const USAGE: &str = "\
 usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
        bench_runner --scale [--quick] [--out PATH]
        bench_runner --conformance [--quick] [--out PATH]
+       bench_runner --service [--quick] [--out PATH]
 
   --quick        CI smoke sizes (quick corpus tier in conformance mode,
                  shrunken graphs in scale mode)
@@ -48,12 +59,16 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
                  thread counts 1/2/4/8, speedup columns) instead of the
                  executor micro-benchmarks
   --conformance  run the corpus conformance sweep instead of the executor
-                 benchmarks";
+                 benchmarks
+  --service      run the batched solver-service tier (throughput at batch
+                 sizes 1/16/256, worker counts 1/4, with in-harness
+                 batching-determinism and zero-allocation asserts)";
 
 struct Args {
     quick: bool,
     scale: bool,
     conformance: bool,
+    service: bool,
     out: Option<String>,
     check: Option<String>,
 }
@@ -68,6 +83,7 @@ fn parse(raw: &[String]) -> Result<Args, String> {
         quick: false,
         scale: false,
         conformance: false,
+        service: false,
         out: None,
         check: None,
     };
@@ -85,16 +101,22 @@ fn parse(raw: &[String]) -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--scale" => args.scale = true,
             "--conformance" => args.conformance = true,
+            "--service" => args.service = true,
             "--out" => args.out = Some(path_value("--out", it.next())?),
             "--check" => args.check = Some(path_value("--check", it.next())?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if (args.conformance || args.scale) && args.check.is_some() {
+    if (args.conformance || args.scale || args.service) && args.check.is_some() {
         return Err("--check applies to executor mode only".into());
     }
-    if args.conformance && args.scale {
-        return Err("--scale and --conformance are mutually exclusive".into());
+    if [args.conformance, args.scale, args.service]
+        .iter()
+        .filter(|&&m| m)
+        .count()
+        > 1
+    {
+        return Err("--scale, --conformance, and --service are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -107,9 +129,52 @@ fn main() -> ExitCode {
     };
     if args.conformance {
         run_conformance(&args)
+    } else if args.service {
+        run_service(&args)
     } else {
         run_executor(&args)
     }
+}
+
+fn run_service(args: &Args) -> ExitCode {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_service.json".into());
+    // collect() panics (non-zero exit) if a determinism or allocation
+    // guarantee is violated — those asserts are this mode's gate.
+    let report = service::collect(args.quick);
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# bench_runner --service ({} mode) -> {out_path}\n",
+        report.mode
+    );
+    println!(
+        "{:<44} {:>5} {:>3} {:>9} {:>11} {:>7} {:>7} {:>12} {:>10}",
+        "workload", "jobs", "w", "rounds", "messages", "reuses", "builds", "wall", "solves/s"
+    );
+    for e in &report.entries {
+        println!(
+            "{:<44} {:>5} {:>3} {:>9} {:>11} {:>7} {:>7} {:>9.3} ms {:>10.3}",
+            e.name,
+            e.jobs,
+            e.workers,
+            e.rounds,
+            e.messages,
+            e.arena_reuses,
+            e.arena_builds,
+            e.wall_ns as f64 / 1e6,
+            e.solves_per_sec_milli as f64 / 1000.0,
+        );
+    }
+    println!(
+        "\nservice gate: batched == sequential (bit-identical) and 0 steady-state arena builds"
+    );
+    ExitCode::SUCCESS
 }
 
 fn run_conformance(args: &Args) -> ExitCode {

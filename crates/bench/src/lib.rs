@@ -1,16 +1,42 @@
 //! The experiment harness: one function per experiment of the reproduction
-//! (E1–E12, see DESIGN.md §4), each returning markdown [`Table`]s.
+//! (E1–E13), each returning markdown [`Table`]s, plus the machine-readable
+//! bench tiers behind `bench_runner`.
 //!
 //! `cargo run -p dsf-bench --bin paper_tables --release` regenerates every
 //! table; `--quick` shrinks sizes and seed counts for smoke runs. The
 //! criterion benches in `benches/` wrap the same workloads for wall-clock
-//! measurements.
+//! measurements. `bench_runner` emits the JSON trajectories CI gates on:
+//! [`perf`] (`dsf-bench-executor/v2`, executor and solver metrics),
+//! [`conformance`] (`dsf-bench-conformance/v1`, per-family ratio
+//! distribution), and [`service`] (`dsf-bench-service/v1`, batched-service
+//! throughput).
+//!
+//! # Invariants
+//!
+//! Every schema separates **deterministic** fields (rounds, messages,
+//! activations, ratios — identical on every machine and worker-thread
+//! count; CI fails on drift) from **report-only** fields (wall-clock,
+//! threads, speedups, throughput — tracked as artifact trajectories, never
+//! gated). Readers are strict: a corrupt baseline fails to parse instead
+//! of silently passing a gate.
+//!
+//! # Example
+//!
+//! ```
+//! use dsf_bench::perf::BenchReport;
+//!
+//! let report = BenchReport { mode: "quick".into(), entries: Vec::new() };
+//! // The emitted JSON round-trips through the strict line-oriented reader.
+//! let parsed = BenchReport::parse(&report.to_json()).unwrap();
+//! assert_eq!(parsed, report);
+//! ```
 
 mod table;
 
 pub mod conformance;
 pub mod experiments;
 pub mod perf;
+pub mod service;
 
 pub use table::Table;
 

@@ -1,0 +1,321 @@
+//! The `bench_runner --service` mode: throughput of the batched solver
+//! service (`dsf-service`) over the workloads corpus, with the
+//! batching-determinism and zero-steady-state-allocation guarantees
+//! asserted in-harness, emitted as `BENCH_service.json`.
+//!
+//! Two workload tiers:
+//!
+//! * **repeat** — one corpus instance solved `batch` times (solver kinds
+//!   cycling, one seed per job) at batch sizes {1, 16, 256} and worker
+//!   counts {1, 4}. Before an entry is emitted the harness asserts
+//!   (a) every batched job is bit-identical — forest, full round ledger,
+//!   ratio — to a one-at-a-time solve on a fresh session, and (b) the
+//!   measured batch ran on warm sessions with **zero** arena builds
+//!   (steady-state session reuse allocates nothing).
+//! * **sweep** — the entire corpus tier streamed through the service as
+//!   one deterministic batch per worker count, certificates attached, and
+//!   the worker counts asserted bit-identical to each other.
+//!
+//! Like the `--scale` tier there is no checked-in baseline (`--check` is
+//! rejected): wall-clock throughput is the product, and the correctness
+//! gates are the in-harness asserts — a violated determinism or
+//! allocation guarantee aborts the run.
+//!
+//! # JSON schema (`dsf-bench-service/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "dsf-bench-service/v1",
+//!   "mode": "quick",
+//!   "entries": [
+//!     {"name": "service/repeat/gnp/batch=16/workers=4", "jobs": 16,
+//!      "batch": 16, "workers": 4, "rounds": 2816, "messages": 70656,
+//!      "arena_reuses": 96, "arena_builds": 0, "wall_ns": 1,
+//!      "solves_per_sec_milli": 1}
+//!   ]
+//! }
+//! ```
+//!
+//! `jobs`, `batch`, `workers`, `rounds`, `messages`, `arena_reuses`, and
+//! `arena_builds` are deterministic (the queue's round-robin assignment is
+//! static); `wall_ns` and `solves_per_sec_milli` are machine-dependent,
+//! report-only, tracked as a trajectory via the CI artifact. One entry
+//! object per line, same line-oriented convention as the executor schema.
+
+use std::sync::Arc;
+
+use dsf_service::{
+    JobOutcome, ServiceConfig, ServiceReport, SolveRequest, SolverKind, SolverService,
+    SolverSession,
+};
+use dsf_workloads::corpus::{stream, CorpusEntry, Tier};
+
+/// Identifier of the emitted JSON layout.
+pub const SCHEMA: &str = "dsf-bench-service/v1";
+
+/// One service benchmark result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceBenchEntry {
+    /// Workload id, e.g. `service/repeat/gnp/batch=16/workers=4`.
+    pub name: String,
+    /// Jobs executed by the measured batch.
+    pub jobs: usize,
+    /// Configured batch size.
+    pub batch: usize,
+    /// Worker sessions of the service.
+    pub workers: usize,
+    /// Sum of per-job total rounds (deterministic).
+    pub rounds: u64,
+    /// Sum of per-job delivered messages (deterministic).
+    pub messages: u64,
+    /// Arena checkouts served by in-place reuse during the measured batch
+    /// (deterministic).
+    pub arena_reuses: u64,
+    /// Arena allocations during the measured batch (deterministic; 0 on a
+    /// warm service).
+    pub arena_builds: u64,
+    /// Wall-clock of the measured batch in nanoseconds (report-only).
+    pub wall_ns: u64,
+    /// `1000 × jobs / seconds` (report-only).
+    pub solves_per_sec_milli: u64,
+}
+
+/// A full `--service` report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceBenchReport {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// All entries, in a deterministic order.
+    pub entries: Vec<ServiceBenchEntry>,
+}
+
+impl ServiceBenchReport {
+    /// Serializes to the `dsf-bench-service/v1` JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"jobs\": {}, \"batch\": {}, \"workers\": {}, \
+                 \"rounds\": {}, \"messages\": {}, \"arena_reuses\": {}, \
+                 \"arena_builds\": {}, \"wall_ns\": {}, \"solves_per_sec_milli\": {}}}{comma}\n",
+                e.name,
+                e.jobs,
+                e.batch,
+                e.workers,
+                e.rounds,
+                e.messages,
+                e.arena_reuses,
+                e.arena_builds,
+                e.wall_ns,
+                e.solves_per_sec_milli,
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The `batch` requests of the repeat workload: one instance, solver kinds
+/// cycling, seed = job index.
+fn repeat_requests(
+    entry: &CorpusEntry,
+    graph: &Arc<dsf_graph::WeightedGraph>,
+    batch: usize,
+) -> Vec<SolveRequest> {
+    (0..batch)
+        .map(|j| {
+            let solver = SolverKind::ALL[j % SolverKind::ALL.len()];
+            SolveRequest::new(
+                format!("repeat/{}/{j}", solver.name()),
+                graph.clone(),
+                entry.instance.clone(),
+                solver,
+                j as u64,
+            )
+            .with_cert_upper(entry.certificate.upper)
+        })
+        .collect()
+}
+
+/// One deterministic-solver request per corpus entry, certificate attached.
+fn sweep_requests(tier: Tier) -> Vec<SolveRequest> {
+    stream(tier)
+        .map(|entry| {
+            let upper = entry.certificate.upper;
+            SolveRequest::new(
+                format!("sweep/{}", entry.id),
+                Arc::new(entry.graph),
+                entry.instance,
+                SolverKind::Deterministic,
+                0,
+            )
+            .with_cert_upper(upper)
+        })
+        .collect()
+}
+
+/// Asserts every batched job is bit-identical to its one-at-a-time twin.
+fn assert_batched_matches(name: &str, report: &ServiceReport, baseline: &[JobOutcome]) {
+    assert_eq!(
+        report.jobs.len(),
+        baseline.len(),
+        "{name}: job count mismatch"
+    );
+    for (job, reference) in report.jobs.iter().zip(baseline) {
+        assert!(
+            job.deterministic_eq(reference),
+            "{name}: batched job {} is not bit-identical to its sequential solve",
+            job.id
+        );
+    }
+    assert!(
+        report.violations.is_empty(),
+        "{name}: ledger violations {:?}",
+        report.violations
+    );
+}
+
+/// Runs a warmup batch plus the measured batch on a fresh service and
+/// emits one entry, asserting determinism vs `baseline` and zero arena
+/// builds on the warm repetition.
+fn service_entry(
+    name: &str,
+    requests: &[SolveRequest],
+    workers: usize,
+    batch: usize,
+    baseline: &[JobOutcome],
+    entries: &mut Vec<ServiceBenchEntry>,
+) {
+    let mut service = SolverService::new(ServiceConfig {
+        workers,
+        ..Default::default()
+    });
+    let warmup = service
+        .run_batch(requests)
+        .expect("service batch runs clean");
+    assert_batched_matches(name, &warmup, baseline);
+    let warm_stats = service.pool_stats();
+    let measured = service
+        .run_batch(requests)
+        .expect("service batch runs clean");
+    assert_batched_matches(name, &measured, baseline);
+    let stats = service.pool_stats();
+    let builds = stats.builds - warm_stats.builds;
+    assert_eq!(
+        builds, 0,
+        "{name}: steady-state session reuse must not allocate arenas"
+    );
+    entries.push(ServiceBenchEntry {
+        name: name.to_string(),
+        jobs: measured.jobs.len(),
+        batch,
+        workers,
+        rounds: measured.total_rounds(),
+        messages: measured.total_messages(),
+        arena_reuses: stats.reuses - warm_stats.reuses,
+        arena_builds: builds,
+        wall_ns: measured.wall_ns,
+        solves_per_sec_milli: measured.solves_per_sec_milli(),
+    });
+}
+
+/// Runs every service workload and assembles the report.
+///
+/// `quick` selects the quick corpus tier (CI smoke); the workload
+/// structure — batch sizes {1, 16, 256}, worker counts {1, 4}, repeat +
+/// sweep tiers — is identical in both modes.
+pub fn collect(quick: bool) -> ServiceBenchReport {
+    let tier = if quick { Tier::Quick } else { Tier::Full };
+    let batches = [1usize, 16, 256];
+    let worker_counts = [1usize, 4];
+    let mut entries = Vec::new();
+
+    // Repeat tier: the first corpus instance, solved over and over. The
+    // request list for a smaller batch is a prefix of the largest one, so
+    // the one-at-a-time reference (fresh session per job) is solved once
+    // at the largest size and sliced.
+    let entry = stream(tier).next().expect("corpus is nonempty");
+    let graph = Arc::new(entry.graph.clone());
+    let max_batch = *batches.iter().max().expect("batch sizes are nonempty");
+    let all_requests = repeat_requests(&entry, &graph, max_batch);
+    let all_baseline: Vec<JobOutcome> = all_requests
+        .iter()
+        .map(|r| SolverSession::new().solve(r).expect("clean solve"))
+        .collect();
+    for batch in batches {
+        let requests = &all_requests[..batch];
+        let baseline = &all_baseline[..batch];
+        for workers in worker_counts {
+            service_entry(
+                &format!(
+                    "service/repeat/{}/batch={batch}/workers={workers}",
+                    entry.family
+                ),
+                requests,
+                workers,
+                batch,
+                baseline,
+                &mut entries,
+            );
+        }
+    }
+
+    // Sweep tier: the whole corpus tier as one batch per worker count,
+    // asserted bit-identical across worker counts.
+    let requests = sweep_requests(tier);
+    let baseline: Vec<JobOutcome> = requests
+        .iter()
+        .map(|r| SolverSession::new().solve(r).expect("clean solve"))
+        .collect();
+    for workers in worker_counts {
+        service_entry(
+            &format!(
+                "service/sweep/det/batch={}/workers={workers}",
+                requests.len()
+            ),
+            &requests,
+            workers,
+            requests.len(),
+            &baseline,
+            &mut entries,
+        );
+    }
+
+    ServiceBenchReport {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_schema_and_one_entry_per_line() {
+        let report = ServiceBenchReport {
+            mode: "quick".into(),
+            entries: vec![ServiceBenchEntry {
+                name: "service/repeat/gnp/batch=16/workers=4".into(),
+                jobs: 16,
+                batch: 16,
+                workers: 4,
+                rounds: 2816,
+                messages: 70656,
+                arena_reuses: 96,
+                arena_builds: 0,
+                wall_ns: 123,
+                solves_per_sec_milli: 456,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"dsf-bench-service/v1\""));
+        assert!(json.contains("\"arena_builds\": 0"));
+        assert_eq!(json.lines().filter(|l| l.contains("\"name\"")).count(), 1);
+    }
+}

@@ -474,14 +474,25 @@ impl<M: Message> RunBuffers<M> {
         RunBuffers { topo, shard }
     }
 
-    /// Rebuilds the topology if `g` differs from the graph the buffers
-    /// were last used with, then clears all transient run state in place.
-    pub(crate) fn ensure(&mut self, g: &WeightedGraph) {
+    /// Prepares the buffers for a run on `g` and reports whether they were
+    /// reused in place.
+    ///
+    /// If `g` is structurally identical to the graph the buffers were last
+    /// used with (same adjacency fingerprint), all transient run state is
+    /// cleared in place and no allocation happens — this is the steady
+    /// state [`crate::BufferPool`] and the service layer rely on. If `g`
+    /// differs, the slot arena is transparently rebuilt.
+    ///
+    /// Returns `true` when the arena was reused in place, `false` when it
+    /// had to be rebuilt (an allocation).
+    pub fn reset_for(&mut self, g: &WeightedGraph) -> bool {
         if self.topo.fingerprint != CsrTopology::fingerprint_of(g) {
             self.topo = CsrTopology::build(g);
             self.shard = ShardState::new(&self.topo, 0, self.topo.n as u32);
+            false
         } else {
             self.shard.reset();
+            true
         }
     }
 }

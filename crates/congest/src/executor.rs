@@ -457,7 +457,7 @@ mod tests {
     fn executors<P>() -> [Exec<P>; 3]
     where
         P: Protocol + Send,
-        P::Msg: Send,
+        P::Msg: Send + 'static,
     {
         [run::<P>, run_reference::<P>, run_sharded3::<P>]
     }

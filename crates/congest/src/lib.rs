@@ -30,7 +30,12 @@
 //! a CSR-style flat slot arena instead of per-node per-round vectors. Use
 //! [`run_with_buffers`] with a caller-owned [`RunBuffers`] to make
 //! repeated runs (bench loops, multi-seed experiments) allocation-free in
-//! steady state. [`run_sharded`] is the multi-threaded variant: the node
+//! steady state; a [`BufferPool`] extends the same reuse across *message
+//! types and graphs* — install one with [`BufferPool::scope`] and every
+//! single-threaded [`run`] inside (e.g. all the stages of a solver)
+//! checks out its arena from the pool instead of allocating, which is how
+//! `dsf-service` solver sessions make steady-state solves allocation-free
+//! end to end. [`run_sharded`] is the multi-threaded variant: the node
 //! arena is partitioned into per-worker shards and every round runs as
 //! compute phase → barrier → deterministic merge phase, with *bit
 //! identical* [`RunMetrics`], final states, and errors at every thread
@@ -81,6 +86,7 @@ mod buffers;
 mod executor;
 mod ledger;
 mod message;
+mod pool;
 mod scheduler;
 mod shard;
 
@@ -91,5 +97,6 @@ pub use executor::{
 };
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use message::{id_bits, weight_bits, Message};
+pub use pool::{BufferPool, PoolStats};
 pub use scheduler::{run, run_with_buffers};
-pub use shard::{default_threads, run_sharded, set_default_threads};
+pub use shard::{default_threads, run_sharded, set_default_threads, with_threads};

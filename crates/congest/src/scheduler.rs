@@ -30,6 +30,7 @@ use dsf_graph::{NodeId, WeightedGraph};
 
 use crate::buffers::{EngineCtx, RemoteMsg, RunBuffers, ShardState};
 use crate::executor::{CongestConfig, NodeCtx, Outbox, Protocol, RunResult, SimError};
+use crate::pool;
 use crate::shard::{default_threads, run_sharded};
 
 /// Executes `nodes` (one [`Protocol`] state per node id) on the network
@@ -38,10 +39,42 @@ use crate::shard::{default_threads, run_sharded};
 /// The engine is chosen by the configured worker-thread count
 /// ([`crate::default_threads`], settable via the `DSF_THREADS` environment
 /// variable or [`crate::set_default_threads`]): 1 runs the single-threaded
-/// active-set scheduler with fresh [`RunBuffers`]; more dispatches to
-/// [`crate::run_sharded`]. Either way the observable outcome —
-/// [`crate::RunMetrics`], final states, errors — is bit-identical; the
-/// thread count is a pure wall-clock knob.
+/// active-set scheduler — reusing a pooled slot arena when a
+/// [`crate::BufferPool`] is installed on the thread, allocating fresh
+/// [`RunBuffers`] otherwise; more dispatches to [`crate::run_sharded`].
+/// Either way the observable outcome — [`crate::RunMetrics`], final
+/// states, errors — is bit-identical; the thread count and the pool are
+/// pure wall-clock/allocation knobs.
+///
+/// # Example
+///
+/// ```
+/// use dsf_congest::{run, CongestConfig, Message, NodeCtx, Outbox, Protocol};
+/// use dsf_graph::{generators, NodeId};
+///
+/// /// One-bit token, flooded outward from node 0.
+/// #[derive(Clone, Debug)]
+/// struct Token;
+/// impl Message for Token {
+///     fn encoded_bits(&self) -> usize { 1 }
+/// }
+/// struct Flood { have: bool }
+/// impl Protocol for Flood {
+///     type Msg = Token;
+///     fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Token>) {
+///         if ctx.id == NodeId(0) { self.have = true; out.send_all(ctx, Token); }
+///     }
+///     fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Token)], out: &mut Outbox<Token>) {
+///         if !self.have && !inbox.is_empty() { self.have = true; out.send_all(ctx, Token); }
+///     }
+///     fn done(&self) -> bool { self.have }
+/// }
+///
+/// let g = generators::path(5, 1);
+/// let nodes = (0..5).map(|_| Flood { have: false }).collect();
+/// let res = run(&g, nodes, &CongestConfig::for_graph(&g)).unwrap();
+/// assert!(res.states.iter().all(|s| s.have));
+/// ```
 ///
 /// # Errors
 ///
@@ -53,13 +86,20 @@ pub fn run<P>(
 ) -> Result<RunResult<P>, SimError>
 where
     P: Protocol + Send,
-    P::Msg: Send,
+    P::Msg: Send + 'static,
 {
     match default_threads() {
-        0 | 1 => {
-            let mut buffers = RunBuffers::for_graph(g);
-            run_with_buffers(g, nodes, cfg, &mut buffers)
-        }
+        0 | 1 => match pool::checkout::<P::Msg>(g) {
+            Some(mut buffers) => {
+                let res = run_with_buffers(g, nodes, cfg, &mut buffers);
+                pool::checkin(buffers);
+                res
+            }
+            None => {
+                let mut buffers = RunBuffers::for_graph(g);
+                run_with_buffers(g, nodes, cfg, &mut buffers)
+            }
+        },
         t => run_sharded(g, nodes, cfg, t),
     }
 }
@@ -84,7 +124,7 @@ pub fn run_with_buffers<P: Protocol>(
             got: nodes.len(),
         });
     }
-    buf.ensure(g);
+    buf.reset_for(g);
     let RunBuffers { topo, shard } = buf;
     let bounds = [0u32, n as u32];
     let ectx = EngineCtx {

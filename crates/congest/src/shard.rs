@@ -54,12 +54,24 @@ use crate::scheduler::{invoke_init, invoke_round, run_with_buffers};
 /// 0 = not yet initialized from the environment.
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// The worker-thread count [`crate::run`] dispatches on: the value of the
-/// `DSF_THREADS` environment variable at first use (clamped to ≥ 1,
-/// default 1), unless overridden via [`set_default_threads`]. Thread
-/// count never changes any deterministic outcome — it is a wall-clock
-/// knob only.
+thread_local! {
+    /// Scoped per-thread override installed by [`with_threads`], consulted
+    /// before the process-wide default. Lets a scheduler (the solver
+    /// service) pin the dispatch of the solves *it* runs without
+    /// perturbing concurrent users of [`crate::run`] on other threads.
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The worker-thread count [`crate::run`] dispatches on for the calling
+/// thread: a scoped [`with_threads`] override if one is installed,
+/// otherwise the process-wide default — the value of the `DSF_THREADS`
+/// environment variable at first use (clamped to ≥ 1, default 1), unless
+/// overridden via [`set_default_threads`]. Thread count never changes any
+/// deterministic outcome — it is a wall-clock knob only.
 pub fn default_threads() -> usize {
+    if let Some(t) = THREAD_OVERRIDE.with(std::cell::Cell::get) {
+        return t;
+    }
     match DEFAULT_THREADS.load(Ordering::Relaxed) {
         0 => {
             let t = std::env::var("DSF_THREADS")
@@ -80,6 +92,25 @@ pub fn default_threads() -> usize {
 /// difference.
 pub fn set_default_threads(threads: usize) {
     DEFAULT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f` with this thread's [`crate::run`] dispatch pinned to
+/// `threads` workers (clamped to ≥ 1), restoring the previous state on
+/// exit — including on unwind. Unlike [`set_default_threads`] this is
+/// purely thread-local: concurrent runs on other threads are unaffected,
+/// which is how the solver service schedules batches without perturbing
+/// anyone else's configuration. Nesting is allowed; the innermost
+/// override wins.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// How a worker left the round loop. All workers take the same exit in
@@ -142,6 +173,39 @@ fn record_error(slot: &Mutex<Option<(u32, SimError)>>, e: SimError) {
 /// in [`RunMetrics`], final states, and errors (see the module docs for
 /// the argument; `threads` is clamped to `1..=n`). `threads == 1` runs
 /// the single-threaded scheduler directly.
+///
+/// # Example
+///
+/// ```
+/// use dsf_congest::{run_sharded, CongestConfig, Message, NodeCtx, Outbox, Protocol};
+/// use dsf_graph::{generators, NodeId};
+///
+/// #[derive(Clone, Debug)]
+/// struct Token;
+/// impl Message for Token {
+///     fn encoded_bits(&self) -> usize { 1 }
+/// }
+/// struct Flood { have: bool }
+/// impl Protocol for Flood {
+///     type Msg = Token;
+///     fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<Token>) {
+///         if ctx.id == NodeId(0) { self.have = true; out.send_all(ctx, Token); }
+///     }
+///     fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, Token)], out: &mut Outbox<Token>) {
+///         if !self.have && !inbox.is_empty() { self.have = true; out.send_all(ctx, Token); }
+///     }
+///     fn done(&self) -> bool { self.have }
+/// }
+///
+/// let g = generators::grid(8, 8, 4, 0);
+/// let cfg = CongestConfig::for_graph(&g);
+/// let nodes = |_: ()| (0..64).map(|_| Flood { have: false }).collect::<Vec<_>>();
+/// let four = run_sharded(&g, nodes(()), &cfg, 4).unwrap();
+/// let one = run_sharded(&g, nodes(()), &cfg, 1).unwrap();
+/// // Bit-identical at every thread count — the worker count is a pure
+/// // wall-clock knob.
+/// assert_eq!(four.metrics, one.metrics);
+/// ```
 ///
 /// # Errors
 ///

@@ -89,6 +89,26 @@ fn pack_mu(mu: Dyadic) -> FloodItem {
 /// Solves DSF-IC with the deterministic distributed algorithm
 /// (Theorem 4.17: 2-approximate, `O(ks + t)` rounds).
 ///
+/// # Example
+///
+/// ```
+/// use dsf_core::det::{solve_deterministic, DetConfig};
+/// use dsf_graph::{generators, NodeId};
+/// use dsf_steiner::InstanceBuilder;
+///
+/// let g = generators::gnp_connected(16, 0.25, 9, 5);
+/// let inst = InstanceBuilder::new(&g)
+///     .component(&[NodeId(0), NodeId(11)])
+///     .build()
+///     .unwrap();
+/// let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+/// assert!(inst.is_feasible(&g, &out.forest));
+/// // Fully deterministic: running again reproduces forest and ledger.
+/// let again = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+/// assert_eq!(out.forest, again.forest);
+/// assert_eq!(out.rounds, again.rounds);
+/// ```
+///
 /// # Errors
 ///
 /// Propagates CONGEST model violations from the simulator (none occur for

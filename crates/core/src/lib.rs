@@ -19,6 +19,39 @@
 //! simulator with the `O(log n)`-bit cap enforced; the returned
 //! [`dsf_congest::RoundLedger`] itemizes each stage's simulated rounds and
 //! the explicitly charged control-flow surcharges.
+//!
+//! # Invariants
+//!
+//! * **Determinism** — [`det::solve_deterministic`] is fully
+//!   deterministic; [`randomized::solve_randomized`] is deterministic per
+//!   [`randomized::RandConfig::seed`]. Repeated seeded runs are
+//!   bit-identical in forest, ledger, and metrics, at every executor
+//!   worker-thread count (the conformance oracle gates on this).
+//! * **Bandwidth** — every message respects the `B(n) = Θ(log n)`-bit
+//!   budget; an oversized message is a bug and aborts the run with
+//!   [`dsf_congest::SimError::BandwidthExceeded`] rather than degrading
+//!   silently.
+//! * **Lemma 4.13** — the deterministic solver replays centralized
+//!   Algorithm 1 merge-for-merge (differentially tested across the
+//!   conformance corpus).
+//!
+//! # Example
+//!
+//! ```
+//! use dsf_core::det::{solve_deterministic, DetConfig};
+//! use dsf_graph::{generators, NodeId};
+//! use dsf_steiner::InstanceBuilder;
+//!
+//! let g = generators::gnp_connected(20, 0.2, 9, 3);
+//! let inst = InstanceBuilder::new(&g)
+//!     .component(&[NodeId(0), NodeId(13)])
+//!     .component(&[NodeId(4), NodeId(17)])
+//!     .build()
+//!     .unwrap();
+//! let out = solve_deterministic(&g, &inst, &DetConfig::default()).unwrap();
+//! assert!(inst.is_feasible(&g, &out.forest));
+//! println!("weight {}, rounds {}", out.forest.weight(&g), out.rounds.total());
+//! ```
 
 pub mod det;
 pub mod primitives;

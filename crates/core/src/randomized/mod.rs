@@ -83,6 +83,27 @@ pub struct RandOutput {
 /// (Theorem 5.2: `O(log n)`-approximate, `Õ(k + min{s,√n} + D)` rounds
 /// w.h.p.).
 ///
+/// # Example
+///
+/// ```
+/// use dsf_core::randomized::{solve_randomized, RandConfig};
+/// use dsf_graph::{generators, NodeId};
+/// use dsf_steiner::InstanceBuilder;
+///
+/// let g = generators::gnp_connected(16, 0.25, 9, 5);
+/// let inst = InstanceBuilder::new(&g)
+///     .component(&[NodeId(0), NodeId(11)])
+///     .component(&[NodeId(3), NodeId(14)])
+///     .build()
+///     .unwrap();
+/// let cfg = RandConfig { seed: 7, repetitions: 2, ..RandConfig::default() };
+/// let out = solve_randomized(&g, &inst, &cfg).unwrap();
+/// assert!(inst.is_feasible(&g, &out.forest));
+/// // Deterministic per seed: the same config reproduces the run.
+/// let again = solve_randomized(&g, &inst, &cfg).unwrap();
+/// assert_eq!(out.forest, again.forest);
+/// ```
+///
 /// # Errors
 ///
 /// Propagates CONGEST model violations from the simulator.

@@ -25,6 +25,31 @@
 //!   and the `S`-truncation of Section 5 (`s > √n` regime);
 //! * per-node path-congestion statistics (Lemma G.1's `O(log n)` distinct
 //!   paths per node — experiment E6).
+//!
+//! # Invariants
+//!
+//! Ranks and `β` are drawn from seeded, platform-deterministic PRNGs:
+//! the same seed reproduces the same embedding (and therefore the same
+//! randomized-solver output) on any machine. The distributed LE-list
+//! protocol ([`distributed::le_lists_distributed`]) must agree entry-for-
+//! entry with the centralized [`le_lists`] and respects the CONGEST
+//! `B`-bit budget — both are property-tested.
+//!
+//! # Example
+//!
+//! ```
+//! use dsf_embed::{le_lists, random_ranks};
+//! use dsf_graph::generators;
+//!
+//! let g = generators::gnp_connected(16, 0.25, 9, 2);
+//! let ranks = random_ranks(16, 7);
+//! let lists = le_lists(&g, &ranks);
+//! assert_eq!(lists.len(), 16);
+//! // An LE list is rank-increasing with distance; its last entry is the
+//! // globally highest-rank node.
+//! let top = ranks.iter().max().unwrap();
+//! assert!(lists.iter().all(|l| ranks[l.entries().last().unwrap().node.idx()] == *top));
+//! ```
 
 pub mod distributed;
 mod embedding;

@@ -11,6 +11,27 @@
 //! This crate builds both gadgets, decodes the Set Disjointness answer from
 //! a solver's output exactly as the reduction prescribes, and measures the
 //! bits our algorithms actually send across the cut (experiments E9/E10).
+//!
+//! # Invariants
+//!
+//! Gadget construction and the planted Set Disjointness instances are
+//! seeded-deterministic; the cut traffic is metered by the enforced
+//! simulator ([`dsf_congest::CongestConfig::with_metered_cut`]), so
+//! `cut_bits` is an exact count, not an estimate, and identical across
+//! machines and worker-thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use dsf_lower_bounds::measure_cr_gadget;
+//!
+//! // A disjoint instance over a universe of 6 elements: the reduction
+//! // must decode "disjoint" from the solver's forest, and the bits on
+//! // the Alice/Bob cut are what Lemma 3.1 lower-bounds.
+//! let exp = measure_cr_gadget(6, false, 3);
+//! assert!(exp.correct());
+//! assert!(exp.cut_bits > 0);
+//! ```
 
 pub mod comm;
 pub mod gadgets;

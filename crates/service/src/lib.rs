@@ -1,0 +1,67 @@
+//! Batched solver service: pooled executor sessions and a deterministic
+//! job queue over the distributed Steiner forest stack.
+//!
+//! The algorithm crates expose one-shot entry points (`solve_*`), and
+//! every such call used to pay full setup: fresh CSR slot arenas for each
+//! CONGEST stage, fresh scheduler state, one instance at a time. The
+//! workloads the source paper and the greedy/local-search Steiner forest
+//! line assume — repeated solves over related instances — amortize all of
+//! that. This crate is the amortization layer:
+//!
+//! * [`SolverSession`] — a reusable session holding a
+//!   [`dsf_congest::BufferPool`]: every stage of every solve checks its
+//!   slot arena out of the pool, so steady-state solves over recurring
+//!   graphs perform **zero** per-solve arena allocation (observable via
+//!   [`SolverSession::pool_stats`]).
+//! * [`SolverService`] — a batched front-end owning one session per
+//!   worker: small jobs are scheduled round-robin across the workers,
+//!   large jobs get the whole pool as sharded-executor threads.
+//! * [`ServiceReport`] — per-batch results (per-job ratio, rounds,
+//!   messages, wall-clock) with the conformance oracle's ledger
+//!   invariants re-checked on every job.
+//!
+//! # Determinism contract
+//!
+//! Batching is **invisible in the results**: every [`JobOutcome`]'s
+//! deterministic fields (forest, full round ledger, weight, ratio) are
+//! bit-identical to solving the same request alone on a fresh session,
+//! at any worker count. This follows from the executor's thread-count
+//! invariance ([`dsf_congest::run_sharded`]) plus pool transparency
+//! (arenas are cleared before reuse), and is continuously asserted by
+//! `bench_runner --service` and the service conformance tier.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dsf_graph::{generators, NodeId};
+//! use dsf_service::{SolveRequest, SolverKind, SolverService};
+//! use dsf_steiner::InstanceBuilder;
+//!
+//! let g = Arc::new(generators::gnp_connected(20, 0.2, 9, 5));
+//! let inst = InstanceBuilder::new(&g)
+//!     .component(&[NodeId(1), NodeId(17)])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut service = SolverService::with_defaults();
+//! let requests: Vec<_> = [SolverKind::Deterministic, SolverKind::Randomized]
+//!     .into_iter()
+//!     .map(|solver| SolveRequest::new(solver.name(), g.clone(), inst.clone(), solver, 7))
+//!     .collect();
+//! let report = service.run_batch(&requests).unwrap();
+//! assert!(report.violations.is_empty());
+//! for job in &report.jobs {
+//!     assert!(inst.is_feasible(&g, &job.forest));
+//! }
+//! ```
+
+mod report;
+mod request;
+mod service;
+mod session;
+
+pub use report::{JobOutcome, ServiceReport};
+pub use request::{SolveRequest, SolverKind};
+pub use service::{ServiceConfig, SolverService};
+pub use session::SolverSession;

@@ -1,0 +1,144 @@
+//! Per-batch reporting: job outcomes, throughput, and the ledger
+//! invariants the conformance oracle also checks.
+
+use dsf_congest::RoundLedger;
+use dsf_steiner::ForestSolution;
+
+use crate::request::SolverKind;
+
+/// One completed job.
+///
+/// `forest`, `ledger`, `weight`, and `ratio_milli` are deterministic —
+/// identical no matter how the batch was scheduled (worker count, batch
+/// composition, session reuse); `wall_ns` is machine- and
+/// schedule-dependent, report-only. [`JobOutcome::deterministic_eq`]
+/// compares exactly the deterministic part, which is how the service
+/// bench asserts batched results are bit-identical to one-at-a-time
+/// solves.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The request's id.
+    pub id: String,
+    /// The solver that ran.
+    pub solver: SolverKind,
+    /// The seed it ran with.
+    pub seed: u64,
+    /// The returned solution.
+    pub forest: ForestSolution,
+    /// The itemized round accounting of the whole solve.
+    pub ledger: RoundLedger,
+    /// Weight of the returned forest.
+    pub weight: u64,
+    /// `⌈1000 · weight / cert_upper⌉` when the request carried a
+    /// certificate.
+    pub ratio_milli: Option<u64>,
+    /// Wall-clock of this solve in nanoseconds (report-only).
+    pub wall_ns: u64,
+}
+
+impl JobOutcome {
+    /// Total rounds (simulated + charged) of the solve.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    /// Total messages delivered during the solve.
+    pub fn messages(&self) -> u64 {
+        self.ledger.messages()
+    }
+
+    /// Total bits delivered during the solve.
+    pub fn bits(&self) -> u64 {
+        self.ledger.bits()
+    }
+
+    /// Whether two outcomes agree on every deterministic field (identity,
+    /// forest, full ledger — entry-for-entry); wall-clock is ignored.
+    pub fn deterministic_eq(&self, other: &JobOutcome) -> bool {
+        self.id == other.id
+            && self.solver == other.solver
+            && self.seed == other.seed
+            && self.weight == other.weight
+            && self.ratio_milli == other.ratio_milli
+            && self.forest == other.forest
+            && self.ledger == other.ledger
+    }
+}
+
+/// The result of one [`crate::SolverService::run_batch`] call.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Worker threads the batch was scheduled across.
+    pub workers: usize,
+    /// One outcome per request, in request order.
+    pub jobs: Vec<JobOutcome>,
+    /// Wall-clock of the whole batch in nanoseconds (report-only).
+    pub wall_ns: u64,
+    /// CONGEST-ledger invariant violations across the batch (empty on a
+    /// healthy run) — the same `B`-bit budget checks the conformance
+    /// oracle applies, so the service path cannot silently launder an
+    /// over-budget solve.
+    pub violations: Vec<String>,
+}
+
+impl ServiceReport {
+    /// Sum of per-job rounds (deterministic).
+    pub fn total_rounds(&self) -> u64 {
+        self.jobs.iter().map(JobOutcome::rounds).sum()
+    }
+
+    /// Sum of per-job messages (deterministic).
+    pub fn total_messages(&self) -> u64 {
+        self.jobs.iter().map(JobOutcome::messages).sum()
+    }
+
+    /// Batch throughput: `1000 × jobs / seconds` (report-only).
+    pub fn solves_per_sec_milli(&self) -> u64 {
+        if self.jobs.is_empty() {
+            return 0;
+        }
+        (self.jobs.len() as u64)
+            .saturating_mul(1_000_000_000_000)
+            .checked_div(self.wall_ns.max(1))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(wall_ns: u64) -> JobOutcome {
+        JobOutcome {
+            id: "j".into(),
+            solver: SolverKind::Deterministic,
+            seed: 0,
+            forest: ForestSolution::empty(),
+            ledger: RoundLedger::new(),
+            weight: 0,
+            ratio_milli: None,
+            wall_ns,
+        }
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_wall_clock() {
+        let a = outcome(10);
+        let b = outcome(99_999);
+        assert!(a.deterministic_eq(&b));
+        let mut c = outcome(10);
+        c.weight = 1;
+        assert!(!a.deterministic_eq(&c));
+    }
+
+    #[test]
+    fn throughput_is_jobs_over_seconds() {
+        let report = ServiceReport {
+            workers: 1,
+            jobs: vec![outcome(1), outcome(1)],
+            wall_ns: 500_000_000, // 2 jobs in half a second = 4 solves/sec
+            violations: Vec::new(),
+        };
+        assert_eq!(report.solves_per_sec_milli(), 4_000);
+    }
+}

@@ -1,0 +1,92 @@
+//! Job vocabulary: which solver to run on which instance, with which seed.
+
+use std::sync::Arc;
+
+use dsf_graph::WeightedGraph;
+use dsf_steiner::Instance;
+
+/// The solver a job runs. Every variant is a thin dispatch onto the
+/// workspace's public `solve_*` entry points; the seed semantics follow
+/// each solver's config (`Deterministic` and `CollectAtRoot` are
+/// seed-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// [`dsf_core::det::solve_deterministic`] — Theorem 4.17.
+    Deterministic,
+    /// [`dsf_core::randomized::solve_randomized`] — Theorem 5.2.
+    Randomized,
+    /// [`dsf_baselines::khan::solve_khan`] — the `Õ(sk)` baseline.
+    Khan,
+    /// [`dsf_baselines::solve_collect_at_root`] — the sanity baseline.
+    CollectAtRoot,
+}
+
+impl SolverKind {
+    /// All kinds, in the stable order reports use.
+    pub const ALL: [SolverKind; 4] = [
+        SolverKind::Deterministic,
+        SolverKind::Randomized,
+        SolverKind::Khan,
+        SolverKind::CollectAtRoot,
+    ];
+
+    /// Short stable name (matches the conformance oracle's solver names).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Deterministic => "det",
+            SolverKind::Randomized => "randomized",
+            SolverKind::Khan => "khan",
+            SolverKind::CollectAtRoot => "collect",
+        }
+    }
+}
+
+/// One solve request: `(instance, solver, seed)` plus identification and
+/// optional ground truth.
+///
+/// The graph is shared via [`Arc`] so a batch of many jobs over the same
+/// network (multi-seed sweeps, solver comparisons) costs one graph, and so
+/// requests stay cheap to clone into worker threads.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Caller-chosen job id, echoed in the report.
+    pub id: String,
+    /// The network (communication topology and problem metric).
+    pub graph: Arc<WeightedGraph>,
+    /// The demand instance.
+    pub instance: Instance,
+    /// Which solver to run.
+    pub solver: SolverKind,
+    /// Seed for the seeded solvers (ignored by the deterministic ones).
+    pub seed: u64,
+    /// Certified upper bound on OPT, when the caller knows one (corpus
+    /// jobs); the report computes `ratio_milli` against it.
+    pub cert_upper: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A request with no certificate attached.
+    pub fn new(
+        id: impl Into<String>,
+        graph: Arc<WeightedGraph>,
+        instance: Instance,
+        solver: SolverKind,
+        seed: u64,
+    ) -> Self {
+        SolveRequest {
+            id: id.into(),
+            graph,
+            instance,
+            solver,
+            seed,
+            cert_upper: None,
+        }
+    }
+
+    /// Attaches a certified upper bound on OPT (enables `ratio_milli`).
+    #[must_use]
+    pub fn with_cert_upper(mut self, upper: u64) -> Self {
+        self.cert_upper = Some(upper);
+        self
+    }
+}

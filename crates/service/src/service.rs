@@ -1,0 +1,248 @@
+//! The batched front-end: a deterministic job queue scheduled across a
+//! pool of [`SolverSession`]s.
+
+use std::time::Instant;
+
+use dsf_congest::{default_threads, CongestConfig, PoolStats, SimError};
+use dsf_workloads::conformance::check_ledger_budget;
+
+use crate::report::{JobOutcome, ServiceReport};
+use crate::request::SolveRequest;
+use crate::session::SolverSession;
+
+/// Configuration of a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker sessions the service schedules small jobs across (and the
+    /// thread count a large job's sharded run gets). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Jobs whose graph has at least this many nodes are *large*: they run
+    /// one at a time with the whole worker pool as sharded executor
+    /// threads, instead of sharing the batch with other jobs.
+    pub large_node_threshold: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Workers default to the process-wide [`default_threads`]
+    /// (`DSF_THREADS`), the threshold to 50 000 nodes.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: default_threads(),
+            large_node_threshold: 50_000,
+        }
+    }
+}
+
+/// A batched, high-throughput solve front-end over the whole solver stack.
+///
+/// The service owns `workers` persistent [`SolverSession`]s. A batch of
+/// [`SolveRequest`]s is split by graph size:
+///
+/// * **small jobs** (below [`ServiceConfig::large_node_threshold`]) are
+///   assigned round-robin — the `j`-th small job to worker `j mod
+///   workers` — and executed concurrently, one single-threaded,
+///   buffer-pooled solve per worker at a time;
+/// * **large jobs** run one at a time, each getting the *whole* pool as
+///   worker threads of the sharded executor ([`dsf_congest::run_sharded`]
+///   via the `DSF_THREADS` dispatch).
+///
+/// Scheduling is invisible in the results: per-job outcomes are
+/// bit-identical to solving each request alone on a fresh session
+/// (executor determinism across thread counts + pool transparency), and
+/// the report lists jobs in request order. `bench_runner --service`
+/// asserts exactly this. Sessions stay warm across batches, so a steady
+/// stream of solves over recurring graphs allocates no arena memory
+/// ([`SolverService::pool_stats`]).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use dsf_graph::{generators, NodeId};
+/// use dsf_service::{ServiceConfig, SolveRequest, SolverKind, SolverService};
+/// use dsf_steiner::InstanceBuilder;
+///
+/// let g = Arc::new(generators::gnp_connected(20, 0.2, 9, 1));
+/// let inst = InstanceBuilder::new(&g)
+///     .component(&[NodeId(0), NodeId(13)])
+///     .build()
+///     .unwrap();
+///
+/// let mut service = SolverService::new(ServiceConfig { workers: 2, ..Default::default() });
+/// let requests: Vec<_> = (0..4)
+///     .map(|seed| SolveRequest::new(
+///         format!("job-{seed}"), g.clone(), inst.clone(), SolverKind::Randomized, seed))
+///     .collect();
+/// let report = service.run_batch(&requests).unwrap();
+/// assert_eq!(report.jobs.len(), 4);
+/// assert!(report.violations.is_empty());
+/// // Jobs come back in request order, whatever the scheduling did.
+/// assert_eq!(report.jobs[2].id, "job-2");
+/// ```
+#[derive(Debug)]
+pub struct SolverService {
+    cfg: ServiceConfig,
+    sessions: Vec<SolverSession>,
+    batches: u64,
+}
+
+impl SolverService {
+    /// A service with `cfg.workers` fresh sessions (`workers` clamped to
+    /// ≥ 1).
+    pub fn new(mut cfg: ServiceConfig) -> Self {
+        cfg.workers = cfg.workers.max(1);
+        let sessions = (0..cfg.workers).map(|_| SolverSession::new()).collect();
+        SolverService {
+            cfg,
+            sessions,
+            batches: 0,
+        }
+    }
+
+    /// A service with the default configuration (`DSF_THREADS` workers).
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// Batches completed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Per-session arena-traffic counters, in worker order.
+    pub fn session_stats(&self) -> Vec<PoolStats> {
+        self.sessions
+            .iter()
+            .map(SolverSession::pool_stats)
+            .collect()
+    }
+
+    /// Arena-traffic counters summed over all sessions. In steady state
+    /// (recurring graphs) `builds` stays flat while `reuses` grows — the
+    /// zero-per-solve-allocation property the service bench asserts.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.session_stats()
+            .into_iter()
+            .fold(PoolStats::default(), |acc, s| PoolStats {
+                reuses: acc.reuses + s.reuses,
+                builds: acc.builds + s.builds,
+            })
+    }
+
+    /// Runs a batch of requests to completion and reports per-job
+    /// outcomes in request order.
+    ///
+    /// Executor dispatch is pinned per solve via the scoped
+    /// [`dsf_congest::with_threads`] override ([`SolverSession::solve`]
+    /// pins 1 during the concurrent small-job phase; each large job gets
+    /// the full pool) — nothing process-wide is touched, so concurrent
+    /// users of [`dsf_congest::run`] on other threads keep their own
+    /// configuration, and batches from different services may interleave
+    /// freely.
+    ///
+    /// # Errors
+    ///
+    /// If any job raises a [`SimError`], the error of the lowest request
+    /// index is returned (deterministic under any scheduling). Jobs do
+    /// not abort each other: every job still runs, so a batch either
+    /// returns a complete report or a deterministic error.
+    ///
+    /// # Panics
+    ///
+    /// A panicking solver is propagated (after the worker threads have
+    /// been joined).
+    pub fn run_batch(&mut self, requests: &[SolveRequest]) -> Result<ServiceReport, SimError> {
+        let t0 = Instant::now();
+        let workers = self.cfg.workers;
+        let (small, large): (Vec<usize>, Vec<usize>) = (0..requests.len())
+            .partition(|&i| requests[i].graph.n() < self.cfg.large_node_threshold);
+
+        let mut slots: Vec<Option<JobOutcome>> = (0..requests.len()).map(|_| None).collect();
+        let mut first_err: Option<(usize, SimError)> = None;
+        let mut record = |slots: &mut Vec<Option<JobOutcome>>,
+                          i: usize,
+                          res: Result<JobOutcome, SimError>| match res {
+            Ok(out) => slots[i] = Some(out),
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        };
+
+        // Small phase: every worker solves its round-robin share, each
+        // solve single-threaded (SolverSession::solve pins the dispatch)
+        // on the worker's warm session.
+        if workers == 1 || small.len() <= 1 {
+            for &i in &small {
+                let res = self.sessions[0].solve(&requests[i]);
+                record(&mut slots, i, res);
+            }
+        } else {
+            let results: Vec<Vec<(usize, Result<JobOutcome, SimError>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .sessions
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(w, session)| {
+                            let jobs: Vec<usize> = small
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| j % workers == w)
+                                .map(|(_, &i)| i)
+                                .collect();
+                            scope.spawn(move || {
+                                jobs.into_iter()
+                                    .map(|i| (i, session.solve(&requests[i])))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                });
+            for (i, res) in results.into_iter().flatten() {
+                record(&mut slots, i, res);
+            }
+        }
+
+        // Large phase: one job at a time, whole pool as sharded workers.
+        for &i in &large {
+            let res = self.sessions[0].solve_with_threads(&requests[i], workers);
+            record(&mut slots, i, res);
+        }
+
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+
+        // The same ledger invariants the conformance oracle enforces.
+        let mut violations = Vec::new();
+        for (i, out) in slots.iter().enumerate() {
+            let out = out.as_ref().expect("no error, so every slot is filled");
+            let bandwidth = CongestConfig::for_graph(&requests[i].graph).bandwidth_bits;
+            for v in check_ledger_budget(&out.ledger, bandwidth) {
+                violations.push(format!("job {} [{}]: {v}", out.id, out.solver.name()));
+            }
+        }
+
+        self.batches += 1;
+        Ok(ServiceReport {
+            workers,
+            jobs: slots.into_iter().map(Option::unwrap).collect(),
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            violations,
+        })
+    }
+}

@@ -185,28 +185,41 @@ fn seeds(tier: Tier) -> std::ops::Range<u64> {
     }
 }
 
-/// Enumerates the corpus for `tier`: `FAMILIES × PATTERNS × seeds`,
-/// deterministically and in a stable order.
-pub fn corpus(tier: Tier) -> Vec<CorpusEntry> {
-    let mut entries = Vec::new();
-    for family in FAMILIES {
-        for pattern in PATTERNS {
-            for seed in seeds(tier) {
-                let graph = make_graph(family, tier, seed);
-                let instance = make_instance(pattern, &graph, tier, seed);
-                let certificate = certify(&graph, &instance);
-                entries.push(CorpusEntry {
-                    id: format!("{family}/{pattern}/seed={seed}"),
-                    family,
-                    pattern,
-                    graph,
-                    instance,
-                    certificate,
-                });
-            }
-        }
+/// Materializes one corpus entry.
+fn make_entry(family: &'static str, pattern: &'static str, tier: Tier, seed: u64) -> CorpusEntry {
+    let graph = make_graph(family, tier, seed);
+    let instance = make_instance(pattern, &graph, tier, seed);
+    let certificate = certify(&graph, &instance);
+    CorpusEntry {
+        id: format!("{family}/{pattern}/seed={seed}"),
+        family,
+        pattern,
+        graph,
+        instance,
+        certificate,
     }
-    entries
+}
+
+/// Lazily enumerates the corpus for `tier`: `FAMILIES × PATTERNS × seeds`
+/// in the same stable order as [`corpus`], generating (and certifying)
+/// each entry only when the consumer pulls it.
+///
+/// This is the streaming front door for batch consumers — the solver
+/// service's job queue feeds from it without materializing the whole
+/// corpus, so memory stays bounded by the jobs in flight rather than the
+/// corpus size.
+pub fn stream(tier: Tier) -> impl Iterator<Item = CorpusEntry> {
+    FAMILIES.into_iter().flat_map(move |family| {
+        PATTERNS.into_iter().flat_map(move |pattern| {
+            seeds(tier).map(move |seed| make_entry(family, pattern, tier, seed))
+        })
+    })
+}
+
+/// Enumerates the corpus for `tier`: `FAMILIES × PATTERNS × seeds`,
+/// deterministically and in a stable order ([`stream`], materialized).
+pub fn corpus(tier: Tier) -> Vec<CorpusEntry> {
+    stream(tier).collect()
 }
 
 #[cfg(test)]
@@ -230,6 +243,16 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), a.len());
+    }
+
+    #[test]
+    fn stream_yields_the_corpus_in_order_and_lazily() {
+        let streamed: Vec<String> = stream(Tier::Quick).map(|e| e.id).collect();
+        let materialized: Vec<String> = corpus(Tier::Quick).into_iter().map(|e| e.id).collect();
+        assert_eq!(streamed, materialized);
+        // Pulling a prefix does not require generating the rest.
+        let first = stream(Tier::Quick).next().expect("corpus is nonempty");
+        assert_eq!(first.id, materialized[0]);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`workloads`] — the conformance lab: seeded instance corpus with
 //!   per-instance certificates and the differential oracle harness every
 //!   solver must pass.
+//! * [`service`] — the batched solver service: pooled executor sessions
+//!   (zero steady-state allocation) and a deterministic job queue whose
+//!   batched results are bit-identical to one-at-a-time solves.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use dsf_core as core;
 pub use dsf_embed as embed;
 pub use dsf_graph as graph;
 pub use dsf_lower_bounds as lower_bounds;
+pub use dsf_service as service;
 pub use dsf_steiner as steiner;
 pub use dsf_workloads as workloads;
 
@@ -62,6 +66,9 @@ pub mod prelude {
     pub use dsf_graph::generators;
     pub use dsf_graph::metrics;
     pub use dsf_graph::{EdgeId, GraphBuilder, NodeId, Weight, WeightedGraph};
+    pub use dsf_service::{
+        ServiceConfig, ServiceReport, SolveRequest, SolverKind, SolverService, SolverSession,
+    };
     pub use dsf_steiner::{
         ComponentId, ConnectionRequests, ForestSolution, Instance, InstanceBuilder,
     };

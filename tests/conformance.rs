@@ -10,10 +10,13 @@
 //! seeded runs, and the CONGEST `B`-bit per-edge bandwidth budget on every
 //! round-ledger stage.
 
+use std::sync::Arc;
+
 use steiner_forest::congest::{run, CongestConfig, Message, NodeCtx, Outbox, Protocol, RunMetrics};
 use steiner_forest::prelude::*;
+use steiner_forest::service::{ServiceConfig, SolveRequest, SolverKind, SolverService};
 use steiner_forest::workloads::conformance::{self, check_entry};
-use steiner_forest::workloads::corpus::{corpus, Tier, FAMILIES, PATTERNS};
+use steiner_forest::workloads::corpus::{corpus, stream, Tier, FAMILIES, PATTERNS};
 use steiner_forest::workloads::CertificateKind;
 
 #[test]
@@ -152,6 +155,99 @@ fn congest_bandwidth_budget_holds_across_the_corpus() {
             det.rounds.simulated() > 0,
             "{}: nothing simulated",
             entry.id
+        );
+    }
+}
+
+/// The direct (one-shot) twin of a service job: the same `solve_*` call
+/// the service dispatches, reduced to the comparable fields.
+fn direct_solve(req: &SolveRequest) -> (ForestSolution, RoundLedger) {
+    use steiner_forest::baselines::khan::{solve_khan, KhanConfig};
+    use steiner_forest::baselines::solve_collect_at_root;
+    use steiner_forest::core::randomized::{solve_randomized, RandConfig};
+    let g = req.graph.as_ref();
+    match req.solver {
+        SolverKind::Deterministic => {
+            let o = solve_deterministic(g, &req.instance, &DetConfig::default()).unwrap();
+            (o.forest, o.rounds)
+        }
+        SolverKind::Randomized => {
+            let cfg = RandConfig {
+                seed: req.seed,
+                ..RandConfig::default()
+            };
+            let o = solve_randomized(g, &req.instance, &cfg).unwrap();
+            (o.forest, o.rounds)
+        }
+        SolverKind::Khan => {
+            let cfg = KhanConfig {
+                seed: req.seed,
+                ..KhanConfig::default()
+            };
+            let o = solve_khan(g, &req.instance, &cfg).unwrap();
+            (o.forest, o.rounds)
+        }
+        SolverKind::CollectAtRoot => {
+            let o = solve_collect_at_root(g, &req.instance).unwrap();
+            (o.forest, o.rounds)
+        }
+    }
+}
+
+/// The differential gate also covers the service path: every corpus entry
+/// × solver kind runs as one batched job, and each outcome must be
+/// bit-identical — forest and full round ledger — to the direct one-shot
+/// solver call, feasible, and at least the certified lower bound. The
+/// service re-checks the `B`-bit ledger budget per job itself
+/// (`report.violations`).
+#[test]
+fn service_path_matches_the_direct_solver_path_on_the_corpus() {
+    let mut requests = Vec::new();
+    let mut certificates = Vec::new();
+    for entry in stream(Tier::Quick) {
+        let g = Arc::new(entry.graph.clone());
+        for solver in SolverKind::ALL {
+            requests.push(
+                SolveRequest::new(
+                    format!("{}/{}", entry.id, solver.name()),
+                    g.clone(),
+                    entry.instance.clone(),
+                    solver,
+                    1,
+                )
+                .with_cert_upper(entry.certificate.upper),
+            );
+            certificates.push(entry.certificate.clone());
+        }
+    }
+
+    let mut service = SolverService::new(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let report = service.run_batch(&requests).unwrap();
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert_eq!(report.jobs.len(), requests.len());
+
+    for ((job, req), cert) in report.jobs.iter().zip(&requests).zip(&certificates) {
+        let (forest, ledger) = direct_solve(req);
+        assert_eq!(
+            job.forest, forest,
+            "{}: service forest diverges from the direct solve",
+            job.id
+        );
+        assert_eq!(
+            job.ledger, ledger,
+            "{}: service ledger diverges from the direct solve",
+            job.id
+        );
+        conformance::assert_feasible_forest(&req.graph, &req.instance, &job.forest, &job.id);
+        assert!(
+            job.weight as f64 >= cert.lower - 1e-6,
+            "{}: weight {} below certified lower bound {}",
+            job.id,
+            job.weight,
+            cert.lower
         );
     }
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans the repository's markdown files (root *.md and docs/**/*.md) for
+inline links `[text](target)` and checks that every *relative* target
+resolves to an existing file or directory. External links (anything with a
+scheme) and pure in-page anchors (`#...`) are skipped; a `path#anchor`
+target is checked for the existence of `path` only.
+
+Usage: python3 tools/check_links.py [FILE.md ...]
+With no arguments, the default file set is scanned. Exits 1 listing every
+broken link, 0 when all resolve.
+"""
+
+import glob
+import re
+import sys
+from pathlib import Path
+
+# Plain targets cannot contain whitespace or parentheses; angle-bracket
+# quoting (`[x](<a b.md>)`) covers targets that do.
+LINK = re.compile(r"\[[^\]]*\]\(<([^>]+)>\)|\[[^\]]*\]\(([^()\s]+)\)")
+REPO = Path(__file__).resolve().parent.parent
+
+
+def targets(md: Path):
+    text = md.read_text(encoding="utf-8")
+    # Strip fenced code blocks and inline code spans: their bracketed
+    # text is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    text = re.sub(r"`[^`]*`", "", text)
+    return [quoted or plain for quoted, plain in LINK.findall(text)]
+
+
+def is_external(target: str) -> bool:
+    return "://" in target or target.startswith(("mailto:", "#"))
+
+
+def display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def main(argv):
+    files = [Path(a).resolve() for a in argv] or sorted(
+        Path(p) for pat in ("*.md", "docs/**/*.md") for p in glob.glob(str(REPO / pat), recursive=True)
+    )
+    broken = []
+    for md in files:
+        if not md.exists():
+            broken.append(f"{md}: file itself does not exist")
+            continue
+        for target in targets(md):
+            if is_external(target):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{display(md)}: broken link -> {target}")
+    if broken:
+        print("broken intra-repo links:", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    print(f"check_links: {len(files)} files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
