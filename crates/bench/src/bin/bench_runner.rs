@@ -5,6 +5,7 @@
 //! bench_runner --scale [--quick] [--out PATH]              # scale mode
 //! bench_runner --conformance [--quick] [--out PATH]        # conformance mode
 //! bench_runner --service [--quick] [--out PATH]            # service mode
+//! bench_runner --server [--quick] [--out PATH]             # server mode
 //! ```
 //!
 //! **Executor mode** (default) times the execution engines and solvers and
@@ -27,6 +28,17 @@
 //! non-zero when any solver violates feasibility, determinism, the
 //! certified ratio bounds, or the CONGEST bandwidth budget.
 //!
+//! **Server mode** (`--server`) benchmarks the streaming server
+//! (`dsf-server`) under open-loop load at offered rates ×{0.5, 1, 2} of
+//! measured capacity, writing `BENCH_server.json` (solves/sec plus
+//! p50/p99 sojourn latency). In-harness gates: admission-control probes
+//! (saturation rejects, cancellations and expired deadlines reported)
+//! and per-job bit-identity to direct solves. No baseline (`--check` is
+//! rejected).
+//!
+//! Every mode prints the effective worker-thread count in its header, so
+//! a malformed `DSF_THREADS` cannot silently run a gate single-threaded.
+//!
 //! **Service mode** (`--service`) benchmarks the batched solver service
 //! (`dsf-service`) over the workloads corpus at batch sizes {1, 16, 256}
 //! and worker counts {1, 4}, writing `BENCH_service.json` (throughput in
@@ -41,6 +53,7 @@ use std::process::ExitCode;
 
 use dsf_bench::conformance;
 use dsf_bench::perf::{self, BenchReport};
+use dsf_bench::server;
 use dsf_bench::service;
 
 const USAGE: &str = "\
@@ -48,6 +61,7 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
        bench_runner --scale [--quick] [--out PATH]
        bench_runner --conformance [--quick] [--out PATH]
        bench_runner --service [--quick] [--out PATH]
+       bench_runner --server [--quick] [--out PATH]
 
   --quick        CI smoke sizes (quick corpus tier in conformance mode,
                  shrunken graphs in scale mode)
@@ -62,13 +76,17 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
                  benchmarks
   --service      run the batched solver-service tier (throughput at batch
                  sizes 1/16/256, worker counts 1/4, with in-harness
-                 batching-determinism and zero-allocation asserts)";
+                 batching-determinism and zero-allocation asserts)
+  --server       run the streaming-server tier (open-loop load at x0.5/x1/x2
+                 of measured capacity, p50/p99 latency, with in-harness
+                 admission-control and bit-identity asserts)";
 
 struct Args {
     quick: bool,
     scale: bool,
     conformance: bool,
     service: bool,
+    server: bool,
     out: Option<String>,
     check: Option<String>,
 }
@@ -84,6 +102,7 @@ fn parse(raw: &[String]) -> Result<Args, String> {
         scale: false,
         conformance: false,
         service: false,
+        server: false,
         out: None,
         check: None,
     };
@@ -102,21 +121,24 @@ fn parse(raw: &[String]) -> Result<Args, String> {
             "--scale" => args.scale = true,
             "--conformance" => args.conformance = true,
             "--service" => args.service = true,
+            "--server" => args.server = true,
             "--out" => args.out = Some(path_value("--out", it.next())?),
             "--check" => args.check = Some(path_value("--check", it.next())?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if (args.conformance || args.scale || args.service) && args.check.is_some() {
+    if (args.conformance || args.scale || args.service || args.server) && args.check.is_some() {
         return Err("--check applies to executor mode only".into());
     }
-    if [args.conformance, args.scale, args.service]
+    if [args.conformance, args.scale, args.service, args.server]
         .iter()
         .filter(|&&m| m)
         .count()
         > 1
     {
-        return Err("--scale, --conformance, and --service are mutually exclusive".into());
+        return Err(
+            "--scale, --conformance, --service, and --server are mutually exclusive".into(),
+        );
     }
     Ok(args)
 }
@@ -131,9 +153,73 @@ fn main() -> ExitCode {
         run_conformance(&args)
     } else if args.service {
         run_service(&args)
+    } else if args.server {
+        run_server(&args)
     } else {
         run_executor(&args)
     }
+}
+
+/// The effective worker-thread count, printed in every mode's header: a
+/// malformed `DSF_THREADS` falls back to 1 (with a one-time diagnostic
+/// from `dsf_congest::default_threads`), and this line makes the
+/// fallback visible in gate logs instead of silently single-threading a
+/// perf run.
+fn threads_header() -> String {
+    format!(
+        "effective worker threads: {} (DSF_THREADS={})",
+        dsf_congest::default_threads(),
+        std::env::var("DSF_THREADS").map_or_else(|_| "unset".into(), |v| format!("{v:?}")),
+    )
+}
+
+fn run_server(args: &Args) -> ExitCode {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_server.json".into());
+    // collect() panics (non-zero exit) if an admission-control probe or a
+    // bit-identity assert fails — those are this mode's gate.
+    let report = server::collect(args.quick);
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# bench_runner --server ({} mode) -> {out_path}\n# {}\n",
+        report.mode,
+        threads_header()
+    );
+    println!(
+        "{:<24} {:>5} {:>3} {:>5} {:>6} {:>9} {:>11} {:>11} {:>11} {:>10}",
+        "workload", "jobs", "w", "cap", "rate", "rounds", "messages", "p50", "p99", "solves/s"
+    );
+    for e in &report.entries {
+        let rate = if e.rate_milli_x == 0 {
+            "closed".to_string()
+        } else {
+            format!("x{:.1}", e.rate_milli_x as f64 / 1000.0)
+        };
+        println!(
+            "{:<24} {:>5} {:>3} {:>5} {:>6} {:>9} {:>11} {:>8.3} ms {:>8.3} ms {:>10.3}",
+            e.name,
+            e.jobs,
+            e.workers,
+            e.queue_capacity,
+            rate,
+            e.rounds,
+            e.messages,
+            e.p50_ns as f64 / 1e6,
+            e.p99_ns as f64 / 1e6,
+            e.solves_per_sec_milli as f64 / 1000.0,
+        );
+    }
+    println!(
+        "\nserver gate: admission probes passed (saturation rejects, cancel/deadline reported) \
+         and every job bit-identical to its direct solve"
+    );
+    ExitCode::SUCCESS
 }
 
 fn run_service(args: &Args) -> ExitCode {
@@ -150,8 +236,9 @@ fn run_service(args: &Args) -> ExitCode {
     }
 
     println!(
-        "# bench_runner --service ({} mode) -> {out_path}\n",
-        report.mode
+        "# bench_runner --service ({} mode) -> {out_path}\n# {}\n",
+        report.mode,
+        threads_header()
     );
     println!(
         "{:<44} {:>5} {:>3} {:>9} {:>11} {:>7} {:>7} {:>12} {:>10}",
@@ -189,8 +276,9 @@ fn run_conformance(args: &Args) -> ExitCode {
     }
 
     println!(
-        "# bench_runner --conformance ({} mode) -> {out_path}\n",
-        report.mode
+        "# bench_runner --conformance ({} mode) -> {out_path}\n# {}\n",
+        report.mode,
+        threads_header()
     );
     println!(
         "{:<28} {:>11} {:>11} {:>11}",
@@ -238,7 +326,11 @@ fn run_executor(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    println!("# bench_runner ({} mode) -> {out_path}\n", report.mode);
+    println!(
+        "# bench_runner ({} mode) -> {out_path}\n# {}\n",
+        report.mode,
+        threads_header()
+    );
     println!(
         "{:<44} {:>8} {:>8} {:>3} {:>9} {:>11} {:>12} {:>12} {:>8}",
         "workload", "n", "m", "t", "rounds", "messages", "activations", "mean wall", "speedup"

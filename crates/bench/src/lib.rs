@@ -8,8 +8,9 @@
 //! measurements. `bench_runner` emits the JSON trajectories CI gates on:
 //! [`perf`] (`dsf-bench-executor/v2`, executor and solver metrics),
 //! [`conformance`] (`dsf-bench-conformance/v1`, per-family ratio
-//! distribution), and [`service`] (`dsf-bench-service/v1`, batched-service
-//! throughput).
+//! distribution), [`service`] (`dsf-bench-service/v1`, batched-service
+//! throughput), and [`server`] (`dsf-bench-server/v1`, streaming-server
+//! latency under open-loop load).
 //!
 //! # Invariants
 //!
@@ -36,6 +37,7 @@ mod table;
 pub mod conformance;
 pub mod experiments;
 pub mod perf;
+pub mod server;
 pub mod service;
 
 pub use table::Table;

@@ -102,11 +102,15 @@ pub struct PoolStats {
 /// ```
 #[derive(Debug)]
 pub struct BufferPool {
-    /// Type-erased `RunBuffers<M>` values; the key's `TypeId` is `M`'s.
-    slots: HashMap<(TypeId, u64), Box<dyn Any + Send>>,
-    /// Keys in least-recently-checked-in-first order (front = next
-    /// eviction victim). Kept in lockstep with `slots`.
-    lru: Vec<(TypeId, u64)>,
+    /// Type-erased `RunBuffers<M>` values tagged with the [`BufferPool::tick`]
+    /// of their last checkin; the key's `TypeId` is `M`'s. Recency is O(1)
+    /// per touch (stamp on insert, gone on remove); the O(len) min-tick
+    /// scan runs only when an eviction is actually needed, i.e. when a
+    /// *new* key enters a full pool — which already paid an O(n + m)
+    /// arena build, so steady-state traffic over warm keys never scans.
+    slots: HashMap<(TypeId, u64), (u64, Box<dyn Any + Send>)>,
+    /// Monotonic checkin counter; higher = more recently used.
+    tick: u64,
     /// Most arenas retained at once.
     capacity: usize,
     stats: PoolStats,
@@ -139,7 +143,7 @@ impl BufferPool {
     pub fn with_capacity(capacity: usize) -> Self {
         BufferPool {
             slots: HashMap::new(),
-            lru: Vec::new(),
+            tick: 0,
             capacity: capacity.max(1),
             stats: PoolStats::default(),
         }
@@ -168,7 +172,6 @@ impl BufferPool {
     /// Drops every pooled arena (the stats are kept).
     pub fn clear(&mut self) {
         self.slots.clear();
-        self.lru.clear();
     }
 
     /// Installs the pool on the current thread for the duration of `f`:
@@ -182,32 +185,35 @@ impl BufferPool {
     /// [`crate::run`] with `DSF_THREADS > 1`) are unaffected: their
     /// per-shard state is not pooled.
     ///
-    /// # Panics
-    ///
-    /// Panics if a pool is already installed on this thread (`scope` does
-    /// not nest).
+    /// Scopes nest gracefully: the innermost pool shadows any outer one
+    /// for the duration of `f` (every checkout/checkin inside goes to the
+    /// inner pool), and the outer installation is restored — arenas and
+    /// stats untouched — when `f` returns or unwinds. A solver session
+    /// dispatched from inside another session's scope (e.g. a server
+    /// worker composing pooled components) therefore cannot panic here;
+    /// each pool just keeps its own accounting.
     pub fn scope<R>(&mut self, f: impl FnOnce() -> R) -> R {
-        let installed = INSTALLED.with(|slot| {
-            let mut slot = slot.borrow_mut();
-            if slot.is_some() {
-                return false;
-            }
-            *slot = Some(std::mem::take(self));
-            true
-        });
-        assert!(installed, "BufferPool::scope does not nest");
-        // Move the pool back out even if `f` unwinds.
-        struct Restore<'a>(&'a mut BufferPool);
+        // Shadow any outer installation; `Restore` puts it back on exit —
+        // including on unwind, so a panicking solver loses neither pool.
+        let shadowed = INSTALLED.with(|slot| slot.borrow_mut().replace(std::mem::take(self)));
+        struct Restore<'a> {
+            target: &'a mut BufferPool,
+            shadowed: Option<BufferPool>,
+        }
         impl Drop for Restore<'_> {
             fn drop(&mut self) {
                 INSTALLED.with(|slot| {
-                    if let Some(pool) = slot.borrow_mut().take() {
-                        *self.0 = pool;
+                    let mine = std::mem::replace(&mut *slot.borrow_mut(), self.shadowed.take());
+                    if let Some(pool) = mine {
+                        *self.target = pool;
                     }
                 });
             }
         }
-        let _restore = Restore(self);
+        let _restore = Restore {
+            target: self,
+            shadowed,
+        };
         f()
     }
 }
@@ -223,8 +229,7 @@ pub(crate) fn checkout<M: Message + Send + 'static>(g: &WeightedGraph) -> Option
         let mut slot = slot.borrow_mut();
         let pool = slot.as_mut()?;
         match pool.slots.remove(&key) {
-            Some(boxed) => {
-                pool.lru.retain(|k| *k != key);
+            Some((_tick, boxed)) => {
                 let buf = *boxed
                     .downcast::<RunBuffers<M>>()
                     .expect("pool slots are keyed by their message TypeId");
@@ -264,11 +269,19 @@ pub(crate) fn checkin<M: Message + Send + 'static>(buf: RunBuffers<M>) {
     let key = (TypeId::of::<M>(), buf.topo.fingerprint);
     INSTALLED.with(|slot| {
         if let Some(pool) = slot.borrow_mut().as_mut() {
-            pool.lru.retain(|k| *k != key);
-            pool.lru.push(key);
-            pool.slots.insert(key, Box::new(buf));
+            pool.tick += 1;
+            pool.slots.insert(key, (pool.tick, Box::new(buf)));
+            // Eviction order matches the old explicit LRU list: smallest
+            // checkin tick = least recently checked in. The scan only runs
+            // when this checkin grew the pool past capacity, i.e. after a
+            // fresh build — warm-key traffic stays O(1).
             while pool.slots.len() > pool.capacity {
-                let victim = pool.lru.remove(0);
+                let victim = pool
+                    .slots
+                    .iter()
+                    .min_by_key(|(_, (tick, _))| *tick)
+                    .map(|(k, _)| *k)
+                    .expect("pool is over capacity, so it is nonempty");
                 pool.slots.remove(&victim);
             }
         }
@@ -435,10 +448,100 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not nest")]
-    fn scope_does_not_nest() {
+    fn nested_scope_shadows_the_outer_pool_and_restores_it() {
+        let g = generators::path(6, 1);
+        let cfg = CongestConfig::for_graph(&g);
         let mut outer = BufferPool::new();
         let mut inner = BufferPool::new();
-        outer.scope(|| inner.scope(|| ()));
+        // Warm the outer pool, then run inside a nested inner scope: the
+        // inner pool takes the traffic, the outer is restored untouched.
+        outer.scope(|| run(&g, flood_nodes(6, Ping), &cfg)).unwrap();
+        outer.scope(|| {
+            inner.scope(|| run(&g, flood_nodes(6, Ping), &cfg)).unwrap();
+            // Back under the outer installation: this run reuses the
+            // outer pool's warm arena.
+            run(&g, flood_nodes(6, Ping), &cfg).unwrap();
+        });
+        assert_eq!(
+            inner.stats(),
+            PoolStats {
+                reuses: 0,
+                builds: 1
+            },
+            "the inner scope took its own traffic"
+        );
+        assert_eq!(
+            outer.stats(),
+            PoolStats {
+                reuses: 1,
+                builds: 1
+            },
+            "the outer pool was shadowed during the inner scope, then restored"
+        );
+        assert_eq!(outer.len(), 1);
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn nested_scope_survives_an_inner_unwind() {
+        let g = generators::path(4, 1);
+        let cfg = CongestConfig::for_graph(&g);
+        let mut outer = BufferPool::new();
+        let mut inner = BufferPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            outer.scope(|| {
+                run(&g, flood_nodes(4, Ping), &cfg).unwrap();
+                inner.scope(|| panic!("inner solver blew up"))
+            })
+        }));
+        assert!(caught.is_err());
+        // Both pools survived the unwind with their state intact.
+        assert_eq!(outer.len(), 1);
+        assert_eq!(inner.len(), 0);
+        outer.scope(|| run(&g, flood_nodes(4, Ping), &cfg)).unwrap();
+        assert_eq!(
+            outer.stats(),
+            PoolStats {
+                reuses: 1,
+                builds: 1
+            }
+        );
+    }
+
+    #[test]
+    fn steady_state_churn_keeps_lru_order_at_capacity() {
+        // Regression for the O(capacity) `retain` on every touch: beyond
+        // the complexity fix, eviction order must stay observably LRU.
+        // Cycle 3 graphs through a capacity-2 pool twice: every checkin of
+        // a not-held graph evicts the least recently used one, so no run
+        // ever finds its arena pooled — 6 builds, 0 reuses.
+        let graphs = [
+            generators::path(4, 1),
+            generators::path(5, 1),
+            generators::path(6, 1),
+        ];
+        let mut pool = BufferPool::with_capacity(2);
+        for _ in 0..2 {
+            for g in &graphs {
+                let cfg = CongestConfig::for_graph(g);
+                pool.scope(|| run(g, flood_nodes(g.n(), Ping), &cfg))
+                    .unwrap();
+            }
+        }
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                reuses: 0,
+                builds: 6
+            }
+        );
+        assert_eq!(pool.len(), 2);
+        // The two most recent graphs are the ones retained.
+        for g in &graphs[1..] {
+            let cfg = CongestConfig::for_graph(g);
+            pool.scope(|| run(g, flood_nodes(g.n(), Ping), &cfg))
+                .unwrap();
+        }
+        assert_eq!(pool.stats().reuses, 2);
     }
 }

@@ -68,17 +68,34 @@ thread_local! {
 /// environment variable at first use (clamped to ≥ 1, default 1), unless
 /// overridden via [`set_default_threads`]. Thread count never changes any
 /// deterministic outcome — it is a wall-clock knob only.
+///
+/// A set-but-malformed `DSF_THREADS` (unparseable, or `0`) falls back to
+/// 1 worker, with a one-time diagnostic on stderr — a perf-gate run with
+/// a typo'd variable must not *silently* drop to single-threaded (the
+/// bench header also prints the effective count).
 pub fn default_threads() -> usize {
     if let Some(t) = THREAD_OVERRIDE.with(std::cell::Cell::get) {
         return t;
     }
     match DEFAULT_THREADS.load(Ordering::Relaxed) {
         0 => {
-            let t = std::env::var("DSF_THREADS")
-                .ok()
-                .and_then(|s| s.trim().parse::<usize>().ok())
-                .unwrap_or(1)
-                .max(1);
+            let raw = std::env::var("DSF_THREADS").ok();
+            let parsed = raw.as_ref().and_then(|s| s.trim().parse::<usize>().ok());
+            if let Some(raw) = &raw {
+                if parsed.is_none() || parsed == Some(0) {
+                    // Once: the first initializer wins the race, so losers
+                    // (who would observe a nonzero cache) never get here
+                    // twice, but two simultaneous first calls could.
+                    static DIAG: std::sync::Once = std::sync::Once::new();
+                    DIAG.call_once(|| {
+                        eprintln!(
+                            "dsf-congest: DSF_THREADS={raw:?} is not a positive integer; \
+                             falling back to 1 worker thread"
+                        );
+                    });
+                }
+            }
+            let t = parsed.unwrap_or(1).max(1);
             DEFAULT_THREADS.store(t, Ordering::Relaxed);
             t
         }

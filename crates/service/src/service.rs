@@ -33,6 +33,20 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// Whether a graph with `nodes` nodes schedules as *large* (sharded
+    /// whole-pool execution) rather than *small* (round-robin across
+    /// workers): large means **at least** [`ServiceConfig::large_node_threshold`]
+    /// nodes, so a graph with exactly threshold nodes is large.
+    ///
+    /// This is the single classification point — [`SolverService`] batches
+    /// and the `dsf-server` streaming reactor both split jobs through it,
+    /// so the two front-ends can never disagree on a job's lane.
+    pub fn is_large(&self, nodes: usize) -> bool {
+        nodes >= self.large_node_threshold
+    }
+}
+
 /// A batched, high-throughput solve front-end over the whole solver stack.
 ///
 /// The service owns `workers` persistent [`SolverSession`]s. A batch of
@@ -159,8 +173,8 @@ impl SolverService {
     pub fn run_batch(&mut self, requests: &[SolveRequest]) -> Result<ServiceReport, SimError> {
         let t0 = Instant::now();
         let workers = self.cfg.workers;
-        let (small, large): (Vec<usize>, Vec<usize>) = (0..requests.len())
-            .partition(|&i| requests[i].graph.n() < self.cfg.large_node_threshold);
+        let (small, large): (Vec<usize>, Vec<usize>) =
+            (0..requests.len()).partition(|&i| !self.cfg.is_large(requests[i].graph.n()));
 
         let mut slots: Vec<Option<JobOutcome>> = (0..requests.len()).map(|_| None).collect();
         let mut first_err: Option<(usize, SimError)> = None;

@@ -156,3 +156,61 @@ fn report_carries_ratios_and_request_order() {
         assert_eq!(job.ratio_milli, Some(1000));
     }
 }
+
+#[test]
+fn exactly_threshold_nodes_schedules_as_large() {
+    // Docs say "at least this many nodes" is large — pin the boundary:
+    // a graph with *exactly* threshold nodes must take the sharded
+    // large-job path, not the round-robin small path.
+    let g = Arc::new(generators::gnp_connected(24, 0.18, 9, 3));
+    let cfg = ServiceConfig {
+        workers: 2,
+        large_node_threshold: g.n(),
+    };
+    assert!(cfg.is_large(g.n()), "n == threshold is large");
+    assert!(!cfg.is_large(g.n() - 1), "n == threshold - 1 is small");
+
+    // And the classification is invisible in the results: the same batch
+    // matches sequential solves whether it ran large (threshold == n) or
+    // small (threshold == n + 1).
+    let inst = InstanceBuilder::new(&g)
+        .component(&[NodeId(0), NodeId(11), NodeId(21)])
+        .build()
+        .unwrap();
+    let requests: Vec<_> = (0..3)
+        .map(|seed| {
+            SolveRequest::new(
+                format!("b{seed}"),
+                g.clone(),
+                inst.clone(),
+                SolverKind::Randomized,
+                seed,
+            )
+        })
+        .collect();
+    let baseline = sequential(&requests);
+    for threshold in [g.n(), g.n() + 1] {
+        let mut service = SolverService::new(ServiceConfig {
+            workers: 2,
+            large_node_threshold: threshold,
+        });
+        let report = service.run_batch(&requests).expect("clean batch");
+        for (job, reference) in report.jobs.iter().zip(&baseline) {
+            assert!(
+                job.deterministic_eq(reference),
+                "threshold={threshold} drifted on {}",
+                job.id
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_workers_clamps_to_one() {
+    let service = SolverService::new(ServiceConfig {
+        workers: 0,
+        large_node_threshold: 1000,
+    });
+    assert_eq!(service.workers(), 1);
+    assert_eq!(service.session_stats().len(), 1);
+}

@@ -28,6 +28,10 @@
 //! * [`service`] — the batched solver service: pooled executor sessions
 //!   (zero steady-state allocation) and a deterministic job queue whose
 //!   batched results are bit-identical to one-at-a-time solves.
+//! * [`server`] — the streaming front-end: a long-lived thread + channel
+//!   reactor with bounded admission, backpressure, priorities, deadlines,
+//!   cancellation, and per-job result streaming over the service's
+//!   session pool.
 //!
 //! # Quickstart
 //!
@@ -54,6 +58,7 @@ pub use dsf_core as core;
 pub use dsf_embed as embed;
 pub use dsf_graph as graph;
 pub use dsf_lower_bounds as lower_bounds;
+pub use dsf_server as server;
 pub use dsf_service as service;
 pub use dsf_steiner as steiner;
 pub use dsf_workloads as workloads;
@@ -66,6 +71,10 @@ pub mod prelude {
     pub use dsf_graph::generators;
     pub use dsf_graph::metrics;
     pub use dsf_graph::{EdgeId, GraphBuilder, NodeId, Weight, WeightedGraph};
+    pub use dsf_server::{
+        AdmissionPolicy, JobHandle, JobOptions, JobResult, JobStatus, ServerConfig, ServerError,
+        StreamingServer,
+    };
     pub use dsf_service::{
         ServiceConfig, ServiceReport, SolveRequest, SolverKind, SolverService, SolverSession,
     };
