@@ -1,0 +1,129 @@
+//! Self-instrumented memory metering for the scale bench tiers.
+//!
+//! The `--scale-xl` tier reports a memory high-water mark next to
+//! `speedup_milli` and asserts a bytes-per-node budget in-harness, so a
+//! footprint regression (a struct growing, a `Vec<Vec<_>>` sneaking back
+//! into a hot path) fails loudly instead of silently pushing the 10M-node
+//! workload out of RAM. Rather than depending on an external profiler or
+//! OS-specific RSS probes, the crate installs a counting
+//! [`GlobalAlloc`] wrapper around the [`System`] allocator: every
+//! (de)allocation in the process adjusts a live byte counter whose
+//! maximum is tracked as the high-water mark.
+//!
+//! The counters are process-global and lock-free. [`reset_peak`] rebases
+//! the mark to the current live size, so a harness can meter one workload
+//! at a time: `reset_peak()` → build + run → [`peak_bytes`] −
+//! the baseline [`current_bytes`] captured at the reset.
+//!
+//! The wrapper only counts requested sizes (`Layout::size`), not
+//! allocator slack, so the numbers are slightly conservative — exactly
+//! what a bytes-per-node *budget* wants: layout-independent and
+//! bit-reproducible across machines for identical workloads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live allocated bytes (requested sizes).
+static CUR: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`CUR`] since the last [`reset_peak`].
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`]-backed allocator that maintains [`current_bytes`] /
+/// [`peak_bytes`]. Installed as the crate's `#[global_allocator]`, so
+/// every binary and test linking `dsf-bench` is metered.
+pub struct CountingAlloc;
+
+#[inline]
+fn on_alloc(size: usize) {
+    let live = CUR.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    CUR.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: delegates all allocation to `System` unchanged; the wrapper
+// only adjusts counters and never fabricates or retains pointers.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                on_dealloc(layout.size() - new_size);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Bytes currently allocated and not yet freed (requested sizes).
+pub fn current_bytes() -> usize {
+    CUR.load(Ordering::Relaxed)
+}
+
+/// The high-water mark of [`current_bytes`] since the last
+/// [`reset_peak`] (or process start).
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Rebases the high-water mark to the current live size, starting a new
+/// metering window. Call before building the workload under measurement;
+/// the workload's footprint is then `peak_bytes() - current_bytes()` as
+/// of this call.
+pub fn reset_peak() {
+    PEAK.store(CUR.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_allocation_high_water() {
+        // The counters are process-global and other tests run in
+        // parallel, so assert with a dominating allocation (64 MiB) and
+        // half-size slack rather than exact equalities.
+        const BIG: usize = 64 << 20;
+        reset_peak();
+        let base = current_bytes();
+        let big = vec![1u8; BIG];
+        assert!(current_bytes() >= base + BIG / 2);
+        assert!(peak_bytes() >= base + BIG / 2);
+        drop(big);
+        // Live drops back; the mark stays.
+        assert!(current_bytes() < base + BIG / 2);
+        assert!(peak_bytes() >= base + BIG / 2);
+        // A reset rebases the mark down to (about) the live size.
+        reset_peak();
+        assert!(peak_bytes() < base + BIG / 2);
+    }
+}

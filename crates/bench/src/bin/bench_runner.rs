@@ -3,6 +3,7 @@
 //! ```text
 //! bench_runner [--quick] [--out PATH] [--check BASELINE]   # executor mode
 //! bench_runner --scale [--quick] [--out PATH]              # scale mode
+//! bench_runner --scale-xl [--quick] [--out PATH]           # scale-xl mode
 //! bench_runner --conformance [--quick] [--out PATH]        # conformance mode
 //! bench_runner --service [--quick] [--out PATH]            # service mode
 //! bench_runner --server [--quick] [--out PATH]             # server mode
@@ -21,6 +22,14 @@
 //! bit-identical deterministic metrics and reporting wall-clock speedups
 //! (`speedup_milli`). No baseline gates this mode — wall-clock is the
 //! product — so `--check` is rejected here.
+//!
+//! **Scale-xl mode** (`--scale-xl`) runs the memory-compact tier: RMAT
+//! power-law graphs (n=10M at edge factor 2; `--quick` shrinks to
+//! n=131k) through the single-threaded and 4-way sharded executors,
+//! asserting bit-identical metrics and a bytes-per-node memory budget
+//! in-harness, and writing `BENCH_scale.json` with the allocation
+//! high-water mark (`mem_peak_bytes`) next to `speedup_milli`. Like
+//! `--scale` there is no baseline, so `--check` is rejected.
 //!
 //! **Conformance mode** (`--conformance`) sweeps the corpus tier through
 //! the differential oracle (`dsf_workloads::conformance`), writes
@@ -59,19 +68,24 @@ use dsf_bench::service;
 const USAGE: &str = "\
 usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
        bench_runner --scale [--quick] [--out PATH]
+       bench_runner --scale-xl [--quick] [--out PATH]
        bench_runner --conformance [--quick] [--out PATH]
        bench_runner --service [--quick] [--out PATH]
        bench_runner --server [--quick] [--out PATH]
 
   --quick        CI smoke sizes (quick corpus tier in conformance mode,
                  shrunken graphs in scale mode)
-  --out PATH     output JSON path (default BENCH_executor.json, or
+  --out PATH     output JSON path (default BENCH_executor.json,
+                 BENCH_scale.json with --scale-xl, or
                  BENCH_conformance.json with --conformance)
   --check PATH   executor mode only: gate deterministic metrics against a
                  checked-in baseline report
   --scale        run the sharded-executor scaling tier (large graphs,
                  thread counts 1/2/4/8, speedup columns) instead of the
                  executor micro-benchmarks
+  --scale-xl     run the memory-compact power-law tier (RMAT graphs up to
+                 n=10M, thread counts 1/4, mem high-water column, with an
+                 in-harness bytes-per-node budget assert)
   --conformance  run the corpus conformance sweep instead of the executor
                  benchmarks
   --service      run the batched solver-service tier (throughput at batch
@@ -84,6 +98,7 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
 struct Args {
     quick: bool,
     scale: bool,
+    scale_xl: bool,
     conformance: bool,
     service: bool,
     server: bool,
@@ -100,6 +115,7 @@ fn parse(raw: &[String]) -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         scale: false,
+        scale_xl: false,
         conformance: false,
         service: false,
         server: false,
@@ -119,6 +135,7 @@ fn parse(raw: &[String]) -> Result<Args, String> {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--scale" => args.scale = true,
+            "--scale-xl" => args.scale_xl = true,
             "--conformance" => args.conformance = true,
             "--service" => args.service = true,
             "--server" => args.server = true,
@@ -127,17 +144,26 @@ fn parse(raw: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if (args.conformance || args.scale || args.service || args.server) && args.check.is_some() {
+    if (args.conformance || args.scale || args.scale_xl || args.service || args.server)
+        && args.check.is_some()
+    {
         return Err("--check applies to executor mode only".into());
     }
-    if [args.conformance, args.scale, args.service, args.server]
-        .iter()
-        .filter(|&&m| m)
-        .count()
+    if [
+        args.conformance,
+        args.scale,
+        args.scale_xl,
+        args.service,
+        args.server,
+    ]
+    .iter()
+    .filter(|&&m| m)
+    .count()
         > 1
     {
         return Err(
-            "--scale, --conformance, --service, and --server are mutually exclusive".into(),
+            "--scale, --scale-xl, --conformance, --service, and --server are mutually exclusive"
+                .into(),
         );
     }
     Ok(args)
@@ -311,11 +337,15 @@ fn run_conformance(args: &Args) -> ExitCode {
 }
 
 fn run_executor(args: &Args) -> ExitCode {
-    let out_path = args
-        .out
-        .clone()
-        .unwrap_or_else(|| "BENCH_executor.json".into());
-    let report = if args.scale {
+    let default_out = if args.scale_xl {
+        "BENCH_scale.json"
+    } else {
+        "BENCH_executor.json"
+    };
+    let out_path = args.out.clone().unwrap_or_else(|| default_out.into());
+    let report = if args.scale_xl {
+        perf::collect_scale_xl(args.quick)
+    } else if args.scale {
         perf::collect_scale(args.quick)
     } else {
         perf::collect(args.quick)
@@ -332,16 +362,29 @@ fn run_executor(args: &Args) -> ExitCode {
         threads_header()
     );
     println!(
-        "{:<44} {:>8} {:>8} {:>3} {:>9} {:>11} {:>12} {:>12} {:>8}",
-        "workload", "n", "m", "t", "rounds", "messages", "activations", "mean wall", "speedup"
+        "{:<44} {:>8} {:>9} {:>3} {:>9} {:>11} {:>12} {:>12} {:>8} {:>10}",
+        "workload",
+        "n",
+        "m",
+        "t",
+        "rounds",
+        "messages",
+        "activations",
+        "mean wall",
+        "speedup",
+        "mem peak"
     );
     for e in &report.entries {
         let speedup = e
             .speedup_milli
             .map(|s| format!("{:.2}x", s as f64 / 1000.0))
             .unwrap_or_else(|| "-".into());
+        let mem = e
+            .mem_peak_bytes
+            .map(|b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<44} {:>8} {:>8} {:>3} {:>9} {:>11} {:>12} {:>9.3} ms {:>8}",
+            "{:<44} {:>8} {:>9} {:>3} {:>9} {:>11} {:>12} {:>9.3} ms {:>8} {:>10}",
             e.name,
             e.n,
             e.m,
@@ -351,6 +394,15 @@ fn run_executor(args: &Args) -> ExitCode {
             e.activations,
             e.wall_ns.mean as f64 / 1e6,
             speedup,
+            mem,
+        );
+    }
+
+    if args.scale_xl {
+        println!(
+            "\nscale-xl gate: t=1/t=4 metrics bit-identical and peak memory within \
+             {} B/node",
+            perf::XL_BYTES_PER_NODE_BUDGET
         );
     }
 

@@ -6,7 +6,7 @@
 //! table; `--quick` shrinks sizes and seed counts for smoke runs. The
 //! criterion benches in `benches/` wrap the same workloads for wall-clock
 //! measurements. `bench_runner` emits the JSON trajectories CI gates on:
-//! [`perf`] (`dsf-bench-executor/v2`, executor and solver metrics),
+//! [`perf`] (`dsf-bench-executor/v3`, executor and solver metrics),
 //! [`conformance`] (`dsf-bench-conformance/v1`, per-family ratio
 //! distribution), [`service`] (`dsf-bench-service/v1`, batched-service
 //! throughput), and [`server`] (`dsf-bench-server/v1`, streaming-server
@@ -34,6 +34,7 @@
 
 mod table;
 
+pub mod alloc_meter;
 pub mod conformance;
 pub mod experiments;
 pub mod perf;

@@ -10,16 +10,18 @@
 //!   (`bench_runner --check`);
 //! * **wall-clock and configuration** — `wall_ns` (min/mean/max
 //!   nanoseconds over the repetitions), `threads` (worker threads the
-//!   entry ran with), and `speedup_milli` (1000 × the min-wall speedup of
-//!   a sharded entry over its single-threaded twin; scale tier only) are
+//!   entry ran with), `speedup_milli` (1000 × the min-wall speedup of
+//!   a sharded entry over its single-threaded twin; scale tiers only),
+//!   and `mem_peak_bytes` (the workload's allocation high-water mark via
+//!   [`crate::alloc_meter`]; `--scale-xl` tier only) are
 //!   machine-dependent, report-only, tracked as a trajectory via the CI
 //!   artifact.
 //!
-//! # JSON schema (`dsf-bench-executor/v2`)
+//! # JSON schema (`dsf-bench-executor/v3`)
 //!
 //! ```json
 //! {
-//!   "schema": "dsf-bench-executor/v2",
+//!   "schema": "dsf-bench-executor/v3",
 //!   "mode": "quick",
 //!   "entries": [
 //!     {"name": "executor/bfs_wave/path/n=10000/event", "n": 10000,
@@ -30,6 +32,7 @@
 //! ```
 //!
 //! (v2 added `threads` everywhere and `speedup_milli` on sharded scale
+//! entries; v3 added the optional `mem_peak_bytes` on `--scale-xl`
 //! entries.) One entry per line; names use only `[a-z0-9_/=.-]`, so no
 //! JSON string escaping is ever needed — and the reader *rejects* any
 //! escape it meets, along with malformed numbers, so a corrupt baseline
@@ -48,7 +51,7 @@ use dsf_graph::{generators, NodeId, WeightedGraph};
 use dsf_steiner::random_instance;
 
 /// Identifier of the emitted JSON layout.
-pub const SCHEMA: &str = "dsf-bench-executor/v2";
+pub const SCHEMA: &str = "dsf-bench-executor/v3";
 
 /// Wall-clock statistics over the repetitions of one workload, in
 /// nanoseconds.
@@ -85,6 +88,10 @@ pub struct BenchEntry {
     /// Min-wall speedup over the single-threaded twin entry, ×1000
     /// (scale-tier sharded entries only; machine-dependent, report-only).
     pub speedup_milli: Option<u64>,
+    /// Allocation high-water mark of the workload — graph, arenas, and
+    /// run — in bytes ([`crate::alloc_meter`]; `--scale-xl` entries only;
+    /// machine-dependent, report-only).
+    pub mem_peak_bytes: Option<u64>,
 }
 
 /// A full `bench_runner` report.
@@ -97,7 +104,7 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Serializes to the `dsf-bench-executor/v2` JSON layout.
+    /// Serializes to the `dsf-bench-executor/v3` JSON layout.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
@@ -110,10 +117,14 @@ impl BenchReport {
                 .speedup_milli
                 .map(|v| format!(", \"speedup_milli\": {v}"))
                 .unwrap_or_default();
+            let mem = e
+                .mem_peak_bytes
+                .map(|v| format!(", \"mem_peak_bytes\": {v}"))
+                .unwrap_or_default();
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"threads\": {}, \
                  \"rounds\": {}, \"messages\": {}, \"activations\": {}, \"wall_ns\": \
-                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}{speedup}}}{comma}\n",
+                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}{speedup}{mem}}}{comma}\n",
                 e.name,
                 e.n,
                 e.m,
@@ -160,6 +171,11 @@ impl BenchReport {
                 } else {
                     None
                 };
+                let mem_peak_bytes = if line.contains("\"mem_peak_bytes\"") {
+                    Some(get("mem_peak_bytes")?)
+                } else {
+                    None
+                };
                 entries.push(BenchEntry {
                     name: name.clone(),
                     n: get("n")? as usize,
@@ -174,6 +190,7 @@ impl BenchReport {
                         max: get("max")?,
                     },
                     speedup_milli,
+                    mem_peak_bytes,
                 });
             }
         }
@@ -186,8 +203,9 @@ impl BenchReport {
     /// Compares the deterministic metrics against a checked-in baseline.
     ///
     /// Returns one human-readable drift description per mismatch (empty =
-    /// gate passes). Wall-clock, `threads`, and `speedup_milli` are
-    /// intentionally ignored: they are machine/configuration facts, and
+    /// gate passes). Wall-clock, `threads`, `speedup_milli`, and
+    /// `mem_peak_bytes` are intentionally ignored: they are
+    /// machine/configuration facts, and
     /// the same gate must pass under any `DSF_THREADS` (that invariance
     /// is itself CI-enforced by running the gate at two thread counts).
     pub fn diff_deterministic(&self, baseline: &BenchReport) -> Vec<String> {
@@ -402,6 +420,7 @@ fn executor_pair(name: &str, g: &WeightedGraph, reps: usize, entries: &mut Vec<B
             activations: t.stats.activations,
             wall_ns: t.wall_ns,
             speedup_milli: None,
+            mem_peak_bytes: None,
         });
     }
 }
@@ -440,6 +459,7 @@ fn solver_entry(
         activations: 0,
         wall_ns: timed.wall_ns,
         speedup_milli: None,
+        mem_peak_bytes: None,
     });
 }
 
@@ -535,8 +555,21 @@ fn splitmix(x: u64) -> u64 {
 }
 
 /// The scale-tier workload message: one 64-bit digest per edge per round.
+///
+/// The payload is [`NonZeroU64`](std::num::NonZeroU64) so that
+/// `Option<GossipMsg>` — the slot-arena element type — is 8 bytes instead
+/// of 16 (niche optimization): at the `--scale-xl` tier's 40M directed
+/// slots that halves the two arena copies. Digest values are arbitrary
+/// deterministic bit-soup, so pinning the rare zero digest to a fixed
+/// nonzero sentinel loses nothing.
 #[derive(Debug, Clone, Copy)]
-pub struct GossipMsg(u64);
+pub struct GossipMsg(std::num::NonZeroU64);
+
+impl GossipMsg {
+    fn of(digest: u64) -> GossipMsg {
+        GossipMsg(std::num::NonZeroU64::new(digest).unwrap_or(std::num::NonZeroU64::MAX))
+    }
+}
 
 impl Message for GossipMsg {
     fn encoded_bits(&self) -> usize {
@@ -564,16 +597,16 @@ impl Protocol for GossipNode {
 
     fn init(&mut self, ctx: &NodeCtx, out: &mut Outbox<GossipMsg>) {
         self.digest = splitmix(u64::from(ctx.id.0));
-        out.send_all(ctx, GossipMsg(self.digest));
+        out.send_all(ctx, GossipMsg::of(self.digest));
     }
 
     fn round(&mut self, ctx: &NodeCtx, inbox: &[(NodeId, GossipMsg)], out: &mut Outbox<GossipMsg>) {
         for &(from, m) in inbox {
-            self.digest = splitmix(self.digest ^ m.0 ^ u64::from(from.0));
+            self.digest = splitmix(self.digest ^ m.0.get() ^ u64::from(from.0));
         }
         if self.rounds_left > 0 {
             self.rounds_left -= 1;
-            out.send_all(ctx, GossipMsg(self.digest));
+            out.send_all(ctx, GossipMsg::of(self.digest));
         }
     }
 
@@ -621,6 +654,7 @@ fn scale_family(
             activations: timed.stats.activations,
             wall_ns: timed.wall_ns,
             speedup_milli: speedup,
+            mem_peak_bytes: None,
         });
     };
     push(entries, 1, &single, None);
@@ -699,6 +733,107 @@ pub fn collect_scale(quick: bool) -> BenchReport {
     }
 }
 
+/// In-harness memory budget of the `--scale-xl` tier, in bytes per node,
+/// as metered by [`crate::alloc_meter`] over the whole workload:
+/// generation, graph CSR, slot arenas, frontier, protocol states, and
+/// the sharded engine's cross-shard mailboxes.
+///
+/// Measured with the compact layout at edge factor 2: the
+/// single-threaded phase peaks around 230 B/node (graph ~85, slot
+/// arenas + frontier ~130, protocol states 16); the t=4 sharded phase
+/// dominates at ~430–450 B/node because it adds its own topology, the
+/// per-shard arenas, and double-buffered cross-shard message queues —
+/// power-law hubs make a large fraction of edges cross shard
+/// boundaries. (See the README "Scale tier" section.) 512 leaves
+/// ~15–20% headroom over the measured peak; a regression that pushes
+/// past it — a struct growing, a byte-per-flag vector returning, an
+/// arena slot losing its niche — fails the harness loudly.
+pub const XL_BYTES_PER_NODE_BUDGET: u64 = 512;
+
+/// One `--scale-xl` workload: RMAT power-law gossip through the
+/// single-threaded engine and the 4-way sharded engine, with the
+/// allocation high-water mark metered across generation + both runs and
+/// asserted against [`XL_BYTES_PER_NODE_BUDGET`]. Deterministic metrics
+/// must be bit-identical across the two engines (same contract as
+/// [`collect_scale`]).
+fn scale_xl_family(
+    n: usize,
+    edge_factor: usize,
+    rounds: u32,
+    reps: usize,
+    entries: &mut Vec<BenchEntry>,
+) {
+    crate::alloc_meter::reset_peak();
+    let base = crate::alloc_meter::current_bytes() as u64;
+    let g = generators::rmat(n, edge_factor, 100, 42);
+    let cfg = CongestConfig::for_graph(&g);
+    let single = {
+        // Scoped so the single-threaded arena is freed before the sharded
+        // engine builds its own — the high-water mark meters one engine's
+        // footprint, not both stacked.
+        let mut buffers = RunBuffers::for_graph(&g);
+        time_reps(reps, || {
+            run_with_buffers(&g, gossip_nodes(&g, rounds), &cfg, &mut buffers)
+                .map(|r| (r.metrics, r.stats))
+        })
+    };
+    let sharded = time_reps(reps, || {
+        run_sharded(&g, gossip_nodes(&g, rounds), &cfg, 4).map(|r| (r.metrics, r.stats))
+    });
+    assert_eq!(
+        sharded.metrics, single.metrics,
+        "scale-xl n={n}: sharded t=4 metrics diverge from t=1"
+    );
+    assert_eq!(
+        sharded.stats, single.stats,
+        "scale-xl n={n}: sharded t=4 work counters diverge from t=1"
+    );
+    let peak = (crate::alloc_meter::peak_bytes() as u64).saturating_sub(base);
+    let budget = XL_BYTES_PER_NODE_BUDGET * n as u64;
+    assert!(
+        peak <= budget,
+        "scale-xl n={n}: peak {peak} bytes ({} B/node) exceeds the {} B/node budget",
+        peak.div_ceil(n as u64),
+        XL_BYTES_PER_NODE_BUDGET,
+    );
+    let speedup = single.wall_ns.min.saturating_mul(1000) / sharded.wall_ns.min.max(1);
+    for (t, timed, speedup) in [(1usize, &single, None), (4, &sharded, Some(speedup))] {
+        entries.push(BenchEntry {
+            name: format!("executor/gossip/power_law/n={n}/t={t}"),
+            n,
+            m: g.m(),
+            threads: t,
+            rounds: timed.metrics.rounds,
+            messages: timed.metrics.messages,
+            activations: timed.stats.activations,
+            wall_ns: timed.wall_ns,
+            speedup_milli: speedup,
+            mem_peak_bytes: Some(peak),
+        });
+    }
+}
+
+/// The `--scale-xl` tier: dense gossip on RMAT power-law graphs up to
+/// n=10M (edge factor 2), run at worker-thread counts {1, 4} with
+/// bit-identity asserted in-harness, reporting the memory high-water mark
+/// next to `speedup_milli` and enforcing [`XL_BYTES_PER_NODE_BUDGET`].
+/// Like `--scale` there is no checked-in baseline (wall-clock and bytes
+/// are the product), hence no `--check` in this mode.
+pub fn collect_scale_xl(quick: bool) -> BenchReport {
+    let mut entries = Vec::new();
+    if quick {
+        // CI smoke sizing: big enough that per-node costs dominate the
+        // budget arithmetic, small enough for a PR gate.
+        scale_xl_family(1 << 17, 2, 3, 2, &mut entries);
+    } else {
+        scale_xl_family(10_000_000, 2, 2, 1, &mut entries);
+    }
+    BenchReport {
+        mode: if quick { "scale-xl-quick" } else { "scale-xl" }.to_string(),
+        entries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,6 +856,7 @@ mod tests {
                         max: 3,
                     },
                     speedup_milli: None,
+                    mem_peak_bytes: None,
                 },
                 BenchEntry {
                     name: "solver/y".into(),
@@ -736,6 +872,7 @@ mod tests {
                         max: 9,
                     },
                     speedup_milli: Some(2750),
+                    mem_peak_bytes: Some(123_456_789),
                 },
             ],
         }
@@ -795,8 +932,9 @@ mod tests {
         let base = sample();
         let mut cur = sample();
         assert!(cur.diff_deterministic(&base).is_empty());
-        // Wall-clock changes never gate.
+        // Wall-clock and memory changes never gate.
         cur.entries[0].wall_ns.mean = 999_999;
+        cur.entries[1].mem_peak_bytes = Some(1);
         assert!(cur.diff_deterministic(&base).is_empty());
         // Metric drift does.
         cur.entries[0].rounds += 1;

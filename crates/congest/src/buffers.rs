@@ -40,8 +40,21 @@
 
 use dsf_graph::{NodeId, WeightedGraph};
 
+use crate::compact::{BitSet, SlidingQueue};
 use crate::executor::{CongestConfig, Outbox, RunMetrics, SchedStats, SimError};
 use crate::message::Message;
+
+/// Entry check for the compact u32 arena: node ids, slot offsets, and the
+/// `bounds`/`mate` cross indices are all `u32`, so a graph whose node
+/// count or directed-slot count (`2m`) reaches `u32::MAX` must be
+/// rejected with a typed error instead of silently truncating ids.
+pub(crate) fn check_arena_capacity(n: usize, m: usize) -> Result<(), SimError> {
+    let limit = u32::MAX as usize;
+    if n >= limit || m.saturating_mul(2) >= limit {
+        return Err(SimError::ArenaOverflow { nodes: n, edges: m });
+    }
+    Ok(())
+}
 
 /// The CSR layout of the slot arena, derived from a graph's adjacency
 /// lists.
@@ -184,25 +197,25 @@ pub(crate) struct ShardState<M> {
     pub(crate) cur: Vec<Option<M>>,
     /// Slots being filled for the next round (local indices).
     pub(crate) next: Vec<Option<M>>,
-    /// Owned nodes to invoke this round (global ids, sorted ascending
-    /// before execution).
-    pub(crate) cur_active: Vec<u32>,
-    /// Owned nodes scheduled for the next round (deduplicated via
-    /// `active_mark`).
-    pub(crate) next_active: Vec<u32>,
-    /// Membership bit per owned node for `next_active` (local indices).
-    pub(crate) active_mark: Vec<bool>,
-    /// Cached termination votes (local indices). `Protocol::done` takes
-    /// `&self`, so a vote can only change when the node is invoked — and
-    /// nodes are only ever invoked by their owning shard, so caching
-    /// stays sound under sharding.
-    pub(crate) done: Vec<bool>,
+    /// Owned nodes to invoke: the sliding window is this round's active
+    /// set (sorted ascending before execution), the tail behind it is the
+    /// next round's (deduplicated via `active_mark`).
+    pub(crate) frontier: SlidingQueue,
+    /// Membership bit per owned node for the frontier tail (local
+    /// indices), bit-packed.
+    pub(crate) active_mark: BitSet,
+    /// Cached termination votes (local indices), bit-packed.
+    /// `Protocol::done` takes `&self`, so a vote can only change when the
+    /// node is invoked — and nodes are only ever invoked by their owning
+    /// shard, so caching stays sound under sharding.
+    pub(crate) done: BitSet,
     /// Epoch-stamped *sender-side* duplicate-send marks, one per owned
     /// adjacency slot (`off[u] + j` for owned sender `u`). Marking the
     /// sender's own slot instead of the receiver's id keeps the check
     /// O(1) *and* shard-local — the receiver may live in another shard.
-    pub(crate) sent_mark: Vec<u64>,
-    pub(crate) sent_epoch: u64,
+    /// `u32` halves the array; the epoch wraps by re-zeroing the marks.
+    pub(crate) sent_mark: Vec<u32>,
+    pub(crate) sent_epoch: u32,
     /// Adjacency positions resolved during the duplicate pass, reused by
     /// the metering pass (`u32::MAX` = not a neighbor).
     pub(crate) adj_pos: Vec<u32>,
@@ -225,17 +238,15 @@ impl<M: Message> ShardState<M> {
     pub(crate) fn new(topo: &CsrTopology, node_lo: u32, node_hi: u32) -> Self {
         let slot_lo = topo.off[node_lo as usize];
         let slots = (topo.off[node_hi as usize] - slot_lo) as usize;
-        let n_local = (node_hi - node_lo) as usize;
         let mut shard = ShardState {
             node_lo,
             node_hi,
             slot_lo,
             cur: Vec::with_capacity(slots),
             next: Vec::with_capacity(slots),
-            cur_active: Vec::new(),
-            next_active: Vec::new(),
-            active_mark: Vec::with_capacity(n_local),
-            done: Vec::with_capacity(n_local),
+            frontier: SlidingQueue::default(),
+            active_mark: BitSet::default(),
+            done: BitSet::default(),
             sent_mark: vec![0; slots],
             sent_epoch: 0,
             adj_pos: Vec::new(),
@@ -260,12 +271,9 @@ impl<M: Message> ShardState<M> {
         self.cur.resize_with(slots, || None);
         self.next.clear();
         self.next.resize_with(slots, || None);
-        self.cur_active.clear();
-        self.next_active.clear();
-        self.active_mark.clear();
-        self.active_mark.resize(n_local, false);
-        self.done.clear();
-        self.done.resize(n_local, false);
+        self.frontier.clear();
+        self.active_mark.reset(n_local);
+        self.done.reset(n_local);
         self.in_flight = 0;
         self.not_done = 0;
         self.inbox.clear();
@@ -285,24 +293,22 @@ impl<M: Message> ShardState<M> {
     #[inline]
     pub(crate) fn schedule(&mut self, v: u32) {
         let li = self.local(v);
-        if !self.active_mark[li] {
-            self.active_mark[li] = true;
-            self.next_active.push(v);
+        if !self.active_mark.get(li) {
+            self.active_mark.set(li);
+            self.frontier.push(v);
         }
     }
 
-    /// Starts a round: promotes the slots and nodes scheduled last round,
-    /// sorts the active set into ascending node-id order (matching the
-    /// reference executor), and resets the per-round counters.
+    /// Starts a round: promotes the slots and nodes scheduled last round —
+    /// the frontier slides its tail into a window sorted into ascending
+    /// node-id order (matching the reference executor) — and resets the
+    /// per-round counters.
     pub(crate) fn promote(&mut self) {
         std::mem::swap(&mut self.cur, &mut self.next);
-        std::mem::swap(&mut self.cur_active, &mut self.next_active);
-        self.next_active.clear();
         let lo = self.node_lo;
-        for &v in &self.cur_active {
-            self.active_mark[(v - lo) as usize] = false;
+        for &v in self.frontier.slide() {
+            self.active_mark.clear((v - lo) as usize);
         }
-        self.cur_active.sort_unstable();
         self.in_flight = 0;
     }
 
@@ -355,6 +361,12 @@ impl<M: Message> ShardState<M> {
         // neighbors cannot be marked; fall back to a scan so the error
         // still matches the reference executor (such a message aborts the
         // run as NotANeighbor in pass 2 anyway).
+        if self.sent_epoch == u32::MAX {
+            // u32 epochs wrap after ~4B commits; re-zero the marks so a
+            // stale stamp can never collide with a fresh epoch.
+            self.sent_mark.fill(0);
+            self.sent_epoch = 0;
+        }
         self.sent_epoch += 1;
         let epoch = self.sent_epoch;
         self.adj_pos.clear();
@@ -494,5 +506,37 @@ impl<M: Message> RunBuffers<M> {
             self.shard.reset();
             true
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_capacity_rejects_u32_overflow_with_typed_error() {
+        // In range: the checker passes well below the 32-bit boundary.
+        assert!(check_arena_capacity(10_000_000, 20_000_000).is_ok());
+        assert!(check_arena_capacity(u32::MAX as usize - 1, 0).is_ok());
+        // Node count at/over the boundary is a typed error, not a wrap.
+        assert_eq!(
+            check_arena_capacity(u32::MAX as usize, 5),
+            Err(SimError::ArenaOverflow {
+                nodes: u32::MAX as usize,
+                edges: 5,
+            })
+        );
+        // Directed slots (2m) crossing the boundary likewise — including
+        // when `2m` itself would overflow usize arithmetic.
+        let m = (u32::MAX as usize).div_ceil(2);
+        assert!(matches!(
+            check_arena_capacity(100, m),
+            Err(SimError::ArenaOverflow { edges, .. }) if edges == m
+        ));
+        assert!(matches!(
+            check_arena_capacity(100, usize::MAX),
+            Err(SimError::ArenaOverflow { .. })
+        ));
+        assert!(check_arena_capacity(100, m - 1).is_ok());
     }
 }

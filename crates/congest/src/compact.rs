@@ -1,0 +1,173 @@
+//! Compact per-node run-state containers for the event-driven executors.
+//!
+//! At the 10M-node scale tier the per-node bookkeeping dominates cache
+//! traffic: one byte per `Vec<bool>` flag and two 4-byte entries per
+//! node in the active-list double buffer add up to more than the slot
+//! arena itself on sparse rounds. This module packs both:
+//!
+//! * [`BitSet`] — one bit per node instead of one byte, for the
+//!   `next`-round membership marks and the cached termination votes;
+//! * [`SlidingQueue`] — the GAP Benchmark Suite frontier idiom: one flat
+//!   vector holding the current round's window at the front and the
+//!   next round's insertions behind it, so promoting a round is a
+//!   `drain` + in-place sort instead of a swap between two vectors.
+//!
+//! Both are plain data with no unsafe code; determinism comes from the
+//! window sort in [`SlidingQueue::slide`], which reproduces the
+//! ascending-node-id execution order the reference executor defines.
+
+/// A fixed-length packed bit vector (one bit per node).
+#[derive(Debug, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Clears all bits and resizes to `len` bits.
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    #[inline]
+    pub(crate) fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+}
+
+/// A GAP-style sliding frontier: one flat vector whose prefix
+/// `[0, window)` is the round being executed and whose tail holds the
+/// nodes scheduled for the next round.
+///
+/// The executing round iterates the window by index (the window bounds
+/// are fixed for the whole round) while commits push new work onto the
+/// tail, so no `mem::take`/restore dance or second vector is needed.
+/// [`slide`](SlidingQueue::slide) retires the window, promotes the tail,
+/// and sorts it — the ascending-node-id order the engines are contracted
+/// to execute in.
+#[derive(Debug, Default)]
+pub(crate) struct SlidingQueue {
+    buf: Vec<u32>,
+    window: usize,
+}
+
+impl SlidingQueue {
+    /// Appends a node to the next round's tail.
+    #[inline]
+    pub(crate) fn push(&mut self, v: u32) {
+        self.buf.push(v);
+    }
+
+    /// Number of nodes in the executing window.
+    #[inline]
+    pub(crate) fn window_len(&self) -> usize {
+        self.window
+    }
+
+    /// The `i`-th node of the executing window.
+    #[inline]
+    pub(crate) fn at(&self, i: usize) -> u32 {
+        debug_assert!(i < self.window);
+        self.buf[i]
+    }
+
+    /// Retires the executed window, promotes the tail to the new window,
+    /// and sorts it into ascending node-id order. Returns the new window
+    /// as a slice (for unmarking membership bits).
+    pub(crate) fn slide(&mut self) -> &[u32] {
+        self.buf.drain(..self.window);
+        self.buf.sort_unstable();
+        self.window = self.buf.len();
+        &self.buf
+    }
+
+    /// Drops all queued work (window and tail).
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+        self.window = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_get_clear() {
+        let mut b = BitSet::default();
+        b.reset(130);
+        assert!(!b.get(0) && !b.get(64) && !b.get(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(65) && !b.get(128));
+        b.clear(64);
+        assert!(!b.get(64) && b.get(0) && b.get(129));
+        b.assign(64, true);
+        b.assign(0, false);
+        assert!(b.get(64) && !b.get(0));
+        // Reset wipes everything, including when shrinking.
+        b.reset(10);
+        for i in 0..10 {
+            assert!(!b.get(i));
+        }
+    }
+
+    #[test]
+    fn sliding_queue_promotes_sorted_windows() {
+        let mut q = SlidingQueue::default();
+        assert_eq!(q.window_len(), 0);
+        q.push(5);
+        q.push(2);
+        q.push(9);
+        assert_eq!(q.window_len(), 0, "pushes land in the tail");
+        assert_eq!(q.slide(), &[2, 5, 9]);
+        assert_eq!(q.window_len(), 3);
+        assert_eq!((q.at(0), q.at(1), q.at(2)), (2, 5, 9));
+        // Pushing mid-round leaves the window untouched.
+        q.push(1);
+        q.push(7);
+        assert_eq!(q.window_len(), 3);
+        assert_eq!(q.at(0), 2);
+        assert_eq!(q.slide(), &[1, 7]);
+        assert_eq!(q.window_len(), 2);
+        assert_eq!(q.slide(), &[] as &[u32]);
+        assert_eq!(q.window_len(), 0);
+    }
+
+    #[test]
+    fn sliding_queue_clear_drops_window_and_tail() {
+        let mut q = SlidingQueue::default();
+        q.push(3);
+        q.slide();
+        q.push(8);
+        q.clear();
+        assert_eq!(q.window_len(), 0);
+        assert_eq!(q.slide(), &[] as &[u32]);
+    }
+}

@@ -97,6 +97,16 @@ pub enum SimError {
         /// Protocol states supplied.
         got: usize,
     },
+    /// The graph exceeds the compact executor's u32 arena: node ids,
+    /// slot offsets, and shard bounds are all `u32`, so `n` or the
+    /// directed-slot count `2m` reaching `u32::MAX` is rejected up front
+    /// instead of truncating ids.
+    ArenaOverflow {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// Undirected edges in the graph.
+        edges: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -123,6 +133,13 @@ impl fmt::Display for SimError {
             }
             SimError::WrongNodeCount { expected, got } => {
                 write!(f, "graph has {expected} nodes but {got} states were given")
+            }
+            SimError::ArenaOverflow { nodes, edges } => {
+                write!(
+                    f,
+                    "graph with {nodes} nodes / {edges} edges exceeds the u32 slot arena \
+                     (need n < u32::MAX and 2m < u32::MAX)"
+                )
             }
         }
     }

@@ -83,6 +83,7 @@
 //! ```
 
 mod buffers;
+mod compact;
 mod executor;
 mod ledger;
 mod message;

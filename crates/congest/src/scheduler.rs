@@ -28,7 +28,7 @@
 
 use dsf_graph::{NodeId, WeightedGraph};
 
-use crate::buffers::{EngineCtx, RemoteMsg, RunBuffers, ShardState};
+use crate::buffers::{check_arena_capacity, EngineCtx, RemoteMsg, RunBuffers, ShardState};
 use crate::executor::{CongestConfig, NodeCtx, Outbox, Protocol, RunResult, SimError};
 use crate::pool;
 use crate::shard::{default_threads, run_sharded};
@@ -124,6 +124,7 @@ pub fn run_with_buffers<P: Protocol>(
             got: nodes.len(),
         });
     }
+    check_arena_capacity(n, g.m())?;
     buf.reset_for(g);
     let RunBuffers { topo, shard } = buf;
     let bounds = [0u32, n as u32];
@@ -185,7 +186,7 @@ pub(crate) fn invoke_init<P: Protocol>(
         shard.out_storage = out.into_storage();
         res?;
         let vote = nodes[li].done();
-        shard.done[li] = vote;
+        shard.done.assign(li, vote);
         if !vote {
             shard.not_done += 1;
             shard.schedule(v);
@@ -210,27 +211,26 @@ pub(crate) fn invoke_round<P: Protocol>(
     outbound: &mut [Vec<RemoteMsg<P::Msg>>],
 ) -> Result<(), SimError> {
     let n = ectx.g.n();
-    let cur_active = std::mem::take(&mut shard.cur_active);
-    let mut res = Ok(());
-    for &v in &cur_active {
+    // Index-based iteration: the frontier's window bounds are fixed for
+    // the whole round while commits push next-round work onto its tail.
+    for i in 0..shard.frontier.window_len() {
+        let v = shard.frontier.at(i);
         let li = shard.local(v);
         let ctx = NodeCtx::new(NodeId(v), n, round, ectx.g);
         shard.gather_inbox(ectx.g, ectx.topo, v);
-        let was_done = shard.done[li];
+        let was_done = shard.done.get(li);
         if was_done && !shard.inbox.is_empty() {
             shard.stats.wakeups += 1;
         }
         let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut shard.out_storage));
         nodes[li].round(&ctx, &shard.inbox, &mut out);
         shard.stats.activations += 1;
-        res = shard.commit(ectx, round, &mut out, outbound);
+        let res = shard.commit(ectx, round, &mut out, outbound);
         shard.out_storage = out.into_storage();
-        if res.is_err() {
-            break;
-        }
+        res?;
         let vote = nodes[li].done();
         if vote != was_done {
-            shard.done[li] = vote;
+            shard.done.assign(li, vote);
             if vote {
                 shard.not_done -= 1;
             } else {
@@ -241,6 +241,5 @@ pub(crate) fn invoke_round<P: Protocol>(
             shard.schedule(v);
         }
     }
-    shard.cur_active = cur_active;
-    res
+    Ok(())
 }

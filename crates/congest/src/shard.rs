@@ -46,7 +46,9 @@ use std::sync::{Barrier, Mutex};
 
 use dsf_graph::WeightedGraph;
 
-use crate::buffers::{CsrTopology, EngineCtx, RemoteMsg, RunBuffers, ShardState};
+use crate::buffers::{
+    check_arena_capacity, CsrTopology, EngineCtx, RemoteMsg, RunBuffers, ShardState,
+};
 use crate::executor::{CongestConfig, Protocol, RunMetrics, RunResult, SchedStats, SimError};
 use crate::scheduler::{invoke_init, invoke_round, run_with_buffers};
 
@@ -168,7 +170,9 @@ fn error_node(e: &SimError) -> u32 {
         | SimError::DuplicateSend { from, .. }
         | SimError::NotANeighbor { from, .. } => from.0,
         // Raised by the loop control / entry checks, never by a commit.
-        SimError::MaxRoundsExceeded { .. } | SimError::WrongNodeCount { .. } => {
+        SimError::MaxRoundsExceeded { .. }
+        | SimError::WrongNodeCount { .. }
+        | SimError::ArenaOverflow { .. } => {
             unreachable!("not a commit error")
         }
     }
@@ -245,6 +249,7 @@ where
             got: nodes.len(),
         });
     }
+    check_arena_capacity(n, g.m())?;
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
         let mut buffers = RunBuffers::for_graph(g);

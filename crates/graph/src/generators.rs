@@ -7,7 +7,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{GraphBuilder, NodeId, Weight, WeightedGraph};
+use crate::union_find::UnionFind;
+use crate::{Edge, GraphBuilder, NodeId, Weight, WeightedGraph};
 
 fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
@@ -386,6 +387,98 @@ pub fn heavy_tailed(n: usize, p: f64, alpha: f64, cap: Weight, seed: u64) -> Wei
     b.build().expect("construction guarantees connectivity")
 }
 
+/// RMAT/Kronecker quadrant probabilities (the Graph500/GAP defaults).
+const RMAT_A: f64 = 0.57;
+const RMAT_B: f64 = 0.19;
+const RMAT_C: f64 = 0.19;
+
+/// GAP-style RMAT (Kronecker) power-law generator.
+///
+/// Samples `edge_factor * n` directed pairs by recursive quadrant descent
+/// over a `2^⌈log₂ n⌉` virtual grid with the Graph500 quadrant
+/// probabilities (a=0.57, b=0.19, c=0.19, d=0.05), rejecting self-loops
+/// and indices `≥ n` (so non-power-of-two `n`, e.g. 10M, works exactly),
+/// then sort-dedupes — no hashing, so peak transient memory stays at one
+/// flat pair vector even at tens of millions of edges.
+///
+/// RMAT leaves stray low-degree components; a final sweep attaches every
+/// node not yet reachable from node 0 to a uniform already-connected
+/// predecessor (a recursive-tree law, so the stitch preserves the heavy
+/// tail and cannot duplicate an existing edge). Weights are uniform in
+/// `1..=max_w` assigned after dedup, so the topology for a seed is
+/// independent of `max_w`'s draw count.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn rmat(n: usize, edge_factor: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    assert!(n > 0, "need at least one node");
+    let mut r = rng(seed);
+    // ⌈log₂ n⌉ descent levels; 0 for n == 1 (no samples drawn then).
+    let levels = usize::BITS - (n - 1).leading_zeros();
+    let target = edge_factor.saturating_mul(n);
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(if n >= 2 { target } else { 0 });
+    if n >= 2 {
+        for _ in 0..target {
+            let (u, v) = loop {
+                let (mut u, mut v) = (0usize, 0usize);
+                for _ in 0..levels {
+                    u <<= 1;
+                    v <<= 1;
+                    let t: f64 = r.gen();
+                    if t < RMAT_A {
+                        // top-left quadrant: both bits stay 0
+                    } else if t < RMAT_A + RMAT_B {
+                        v |= 1;
+                    } else if t < RMAT_A + RMAT_B + RMAT_C {
+                        u |= 1;
+                    } else {
+                        u |= 1;
+                        v |= 1;
+                    }
+                }
+                // Rejection keeps the conditional distribution intact for
+                // non-power-of-two `n` and filters the diagonal.
+                if u < n && v < n && u != v {
+                    break (u, v);
+                }
+            };
+            pairs.push((u.min(v) as u32, u.max(v) as u32));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in &pairs {
+        uf.union(u as usize, v as usize);
+    }
+    // Sweep in id order: by induction every node `< v` is already in node
+    // 0's component when `v` is processed, so attaching `v` to a uniform
+    // predecessor both connects it and cannot re-add an existing edge
+    // (an existing edge to a predecessor would have connected `v` already).
+    for v in 1..n {
+        if uf.find(v) != uf.find(0) {
+            let j = r.gen_range(0..v);
+            uf.union(v, j);
+            pairs.push((j as u32, v as u32));
+        }
+    }
+    let edges: Vec<Edge> = pairs
+        .into_iter()
+        .map(|(u, v)| Edge {
+            u: NodeId(u),
+            v: NodeId(v),
+            w: random_weight(&mut r, max_w),
+        })
+        .collect();
+    WeightedGraph::from_edges(n, edges).expect("stitching guarantees a simple connected graph")
+}
+
+/// Graph500 convenience wrapper for [`rmat`]: `n = 2^scale` nodes.
+pub fn rmat_scale(scale: u32, edge_factor: usize, max_w: Weight, seed: u64) -> WeightedGraph {
+    rmat(1usize << scale, edge_factor, max_w, seed)
+}
+
 /// Samples `count` distinct nodes, deterministically per seed.
 pub fn sample_nodes(n: usize, count: usize, seed: u64) -> Vec<NodeId> {
     assert!(count <= n, "cannot sample {count} of {n} nodes");
@@ -516,6 +609,47 @@ mod tests {
         assert_eq!(g.m(), 4 * 15 + 3);
         assert!(g.is_connected());
         assert_eq!(g.edges(), clustered_geometric(4, 6, 11).edges());
+    }
+
+    #[test]
+    fn rmat_is_connected_simple_and_deterministic() {
+        let a = rmat(100, 4, 50, 13);
+        assert_eq!(a.n(), 100);
+        assert!(a.is_connected());
+        assert_eq!(a.edges(), rmat(100, 4, 50, 13).edges());
+        let b2 = rmat(100, 4, 50, 14);
+        assert_ne!(a.edges(), b2.edges());
+        // Connected + simple bounds: n-1 ≤ m ≤ samples + stitches.
+        assert!(a.m() >= 99);
+        assert!(a.m() <= 4 * 100 + 99);
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        // Power-law sanity: the top decile of nodes must hold far more
+        // than a proportional share of the edge endpoints.
+        let g = rmat(1 << 10, 8, 10, 5);
+        let mut degs: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = degs[..degs.len() / 10].iter().sum();
+        let total: usize = degs.iter().sum();
+        assert!(
+            top * 100 >= total * 30,
+            "top decile holds {top}/{total} endpoints — not heavy-tailed"
+        );
+        assert!(degs[0] >= 4 * total / degs.len(), "no hub emerged");
+    }
+
+    #[test]
+    fn rmat_handles_tiny_and_non_power_of_two_sizes() {
+        let one = rmat(1, 4, 5, 0);
+        assert_eq!((one.n(), one.m()), (1, 0));
+        for n in [2usize, 3, 5, 100, 1000] {
+            let g = rmat(n, 2, 9, 42);
+            assert_eq!(g.n(), n);
+            assert!(g.is_connected(), "n={n} disconnected");
+        }
+        assert_eq!(rmat_scale(6, 4, 5, 3).n(), 64);
     }
 
     #[test]

@@ -207,20 +207,7 @@ impl GraphBuilder {
     /// Useful for intermediate graphs (e.g. the forest `(V, F)` of selected
     /// edges, which is intentionally disconnected).
     pub fn build_unchecked(self) -> WeightedGraph {
-        let mut adj = vec![Vec::new(); self.n];
-        for (i, e) in self.edges.iter().enumerate() {
-            let id = EdgeId(i as u32);
-            adj[e.u.idx()].push((e.v, id));
-            adj[e.v.idx()].push((e.u, id));
-        }
-        for a in &mut adj {
-            a.sort_unstable();
-        }
-        WeightedGraph {
-            n: self.n,
-            edges: self.edges,
-            adj,
-        }
+        WeightedGraph::assemble(self.n, self.edges)
     }
 }
 
@@ -228,15 +215,110 @@ impl GraphBuilder {
 ///
 /// The graph is the communication network *and* the problem instance domain:
 /// in the CONGEST model the input graph and the network coincide.
+///
+/// Adjacency is stored in compressed-sparse-row form — one flat
+/// `(neighbor, edge id)` array sliced by a per-node offset table — instead
+/// of one `Vec` per node. At the 10M-node scale tier this saves the 24
+/// bytes/node of inner-`Vec` headers plus their reallocation slack, and
+/// keeps every neighbor scan on a single contiguous allocation.
 #[derive(Debug, Clone)]
 pub struct WeightedGraph {
     n: usize,
     edges: Vec<Edge>,
-    /// `adj[v]` lists `(neighbor, edge id)` sorted by neighbor id.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// CSR offsets: node `v`'s adjacency is `adj[adj_off[v]..adj_off[v+1]]`.
+    adj_off: Vec<u32>,
+    /// Flat `(neighbor, edge id)` entries, each node's slice sorted by
+    /// neighbor id.
+    adj: Vec<(NodeId, EdgeId)>,
 }
 
 impl WeightedGraph {
+    /// Builds the CSR adjacency for `edges` on `n` nodes via counting sort
+    /// (no per-node allocations, no hashing).
+    fn assemble(n: usize, edges: Vec<Edge>) -> WeightedGraph {
+        let slots = u32::try_from(edges.len() * 2)
+            .expect("directed adjacency exceeds the u32 CSR offset range");
+        let mut adj_off = vec![0u32; n + 1];
+        for e in &edges {
+            adj_off[e.u.idx() + 1] += 1;
+            adj_off[e.v.idx() + 1] += 1;
+        }
+        for v in 0..n {
+            adj_off[v + 1] += adj_off[v];
+        }
+        let mut cursor = adj_off.clone();
+        let mut adj = vec![(NodeId(0), EdgeId(0)); slots as usize];
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            adj[cursor[e.u.idx()] as usize] = (e.v, id);
+            cursor[e.u.idx()] += 1;
+            adj[cursor[e.v.idx()] as usize] = (e.u, id);
+            cursor[e.v.idx()] += 1;
+        }
+        for v in 0..n {
+            adj[adj_off[v] as usize..adj_off[v + 1] as usize].sort_unstable();
+        }
+        WeightedGraph {
+            n,
+            edges,
+            adj_off,
+            adj,
+        }
+    }
+
+    /// Builds a validated graph directly from an edge list, without the
+    /// per-edge hashing [`GraphBuilder`] pays for incremental duplicate
+    /// detection — the O(n + m) construction path the scale-tier
+    /// generators use (a `HashSet` over 20M+ edges costs more transient
+    /// memory than the finished graph).
+    ///
+    /// Edges may be given in either orientation; they are normalized to
+    /// `u < v`. Duplicates are detected from the sorted adjacency instead
+    /// of a hash set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`GraphError`]s as the builder path: out-of-range
+    /// endpoints, self loops, zero weights, duplicate edges,
+    /// disconnectedness, or an empty node set.
+    pub fn from_edges(n: usize, edges: Vec<Edge>) -> Result<WeightedGraph, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut edges = edges;
+        for e in &mut edges {
+            if e.u.idx() >= n {
+                return Err(GraphError::NodeOutOfRange { node: e.u, n });
+            }
+            if e.v.idx() >= n {
+                return Err(GraphError::NodeOutOfRange { node: e.v, n });
+            }
+            if e.u == e.v {
+                return Err(GraphError::SelfLoop(e.u));
+            }
+            if e.w == 0 {
+                return Err(GraphError::ZeroWeight(e.u, e.v));
+            }
+            if e.u > e.v {
+                std::mem::swap(&mut e.u, &mut e.v);
+            }
+        }
+        let g = WeightedGraph::assemble(n, edges);
+        for v in g.nodes() {
+            for w in g.neighbors(v).windows(2) {
+                if w[0].0 == w[1].0 {
+                    let u = w[0].0;
+                    let (a, b) = if u < v { (u, v) } else { (v, u) };
+                    return Err(GraphError::DuplicateEdge(a, b));
+                }
+            }
+        }
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn n(&self) -> usize {
@@ -270,13 +352,13 @@ impl WeightedGraph {
     /// Neighbors of `v` as `(neighbor, edge id)` pairs, sorted by neighbor id.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[v.idx()]
+        &self.adj[self.adj_off[v.idx()] as usize..self.adj_off[v.idx() + 1] as usize]
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.idx()].len()
+        (self.adj_off[v.idx() + 1] - self.adj_off[v.idx()]) as usize
     }
 
     /// Iterator over all node ids `0..n`.
@@ -286,7 +368,7 @@ impl WeightedGraph {
 
     /// Looks up the edge id of `{u, v}`, if present.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let a = &self.adj[u.idx()];
+        let a = self.neighbors(u);
         a.binary_search_by_key(&v, |&(nb, _)| nb)
             .ok()
             .map(|i| a[i].1)
@@ -438,5 +520,67 @@ mod tests {
     fn id_bits_reasonable() {
         let g = triangle();
         assert_eq!(g.id_bits(), 2);
+    }
+
+    #[test]
+    fn from_edges_matches_builder_output() {
+        let edges = vec![
+            Edge {
+                u: NodeId(1),
+                v: NodeId(0),
+                w: 1,
+            }, // reversed orientation is normalized
+            Edge {
+                u: NodeId(1),
+                v: NodeId(2),
+                w: 2,
+            },
+            Edge {
+                u: NodeId(2),
+                v: NodeId(0),
+                w: 3,
+            },
+        ];
+        let g = WeightedGraph::from_edges(3, edges).unwrap();
+        let b = triangle();
+        assert_eq!(g.edges(), b.edges());
+        for v in g.nodes() {
+            assert_eq!(g.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn from_edges_rejects_what_the_builder_rejects() {
+        let e = |u: u32, v: u32, w: Weight| Edge {
+            u: NodeId(u),
+            v: NodeId(v),
+            w,
+        };
+        assert_eq!(
+            WeightedGraph::from_edges(0, vec![]).unwrap_err(),
+            GraphError::Empty
+        );
+        assert_eq!(
+            WeightedGraph::from_edges(2, vec![e(0, 0, 1)]).unwrap_err(),
+            GraphError::SelfLoop(NodeId(0))
+        );
+        assert_eq!(
+            WeightedGraph::from_edges(2, vec![e(0, 1, 0)]).unwrap_err(),
+            GraphError::ZeroWeight(NodeId(0), NodeId(1))
+        );
+        assert!(matches!(
+            WeightedGraph::from_edges(2, vec![e(0, 5, 1)]).unwrap_err(),
+            GraphError::NodeOutOfRange { .. }
+        ));
+        // Duplicates are caught from the sorted adjacency, in either
+        // orientation.
+        assert_eq!(
+            WeightedGraph::from_edges(2, vec![e(0, 1, 1), e(1, 0, 2)]).unwrap_err(),
+            GraphError::DuplicateEdge(NodeId(0), NodeId(1))
+        );
+        assert_eq!(
+            WeightedGraph::from_edges(4, vec![e(0, 1, 1), e(2, 3, 1)]).unwrap_err(),
+            GraphError::Disconnected
+        );
     }
 }

@@ -254,6 +254,39 @@ proptest! {
     }
 
     #[test]
+    fn rmat_seeded_determinism(seed in 0u64..300, n in 1usize..200, ef in 1usize..6) {
+        let a = generators::rmat(n, ef, 25, seed);
+        let b = generators::rmat(n, ef, 25, seed);
+        prop_assert_eq!(a.n(), n);
+        prop_assert_eq!(a.edges(), b.edges());
+        prop_assert!(a.edges().iter().all(|e| (1..=25).contains(&e.w)));
+    }
+
+    #[test]
+    fn rmat_edge_count_bounds(seed in 0u64..300, n in 1usize..200, ef in 1usize..6) {
+        // Simple + connected: at least a spanning tree, at most the sampled
+        // pairs plus one stitch per non-root node (and never beyond simple).
+        let g = generators::rmat(n, ef, 9, seed);
+        prop_assert!(g.m() >= n.saturating_sub(1));
+        prop_assert!(g.m() <= (ef * n + n.saturating_sub(1)).min(n * n.saturating_sub(1) / 2));
+    }
+
+    #[test]
+    fn rmat_connectivity_after_stitching(seed in 0u64..300, n in 1usize..200, ef in 1usize..6) {
+        // RMAT sampling alone leaves stray components; the generator's
+        // recursive-tree stitch must always repair them.
+        let g = generators::rmat(n, ef, 9, seed);
+        prop_assert!(g.is_connected());
+        // The stitched graph is simple: the sorted adjacency has no
+        // duplicate (neighbor, edge) target.
+        for v in g.nodes() {
+            for w in g.neighbors(v).windows(2) {
+                prop_assert!(w[0].0 != w[1].0, "duplicate edge at {:?}", v);
+            }
+        }
+    }
+
+    #[test]
     fn heavy_tailed_connectivity_and_caps(
         seed in 0u64..300,
         n in 1usize..40,

@@ -46,7 +46,7 @@ pub struct CorpusEntry {
 }
 
 /// All graph family names, in corpus order.
-pub const FAMILIES: [&str; 8] = [
+pub const FAMILIES: [&str; 9] = [
     "gnp",
     "grid",
     "geometric",
@@ -55,6 +55,7 @@ pub const FAMILIES: [&str; 8] = [
     "barbell",
     "clustered",
     "heavy_tailed",
+    "power_law",
 ];
 
 /// All demand pattern names, in corpus order.
@@ -99,6 +100,12 @@ fn make_graph(family: &str, tier: Tier, seed: u64) -> WeightedGraph {
         "heavy_tailed" => {
             let n = if quick { 20 } else { 44 };
             generators::heavy_tailed(n, 0.15, 2.0, 100_000, seed)
+        }
+        "power_law" => {
+            // RMAT/Kronecker skewed-degree topology — the corpus-sized
+            // cousin of the `--scale-xl` bench tier's 10M-node instances.
+            let n = if quick { 28 } else { 56 };
+            generators::rmat(n, 3, 12, seed)
         }
         other => panic!("unknown graph family {other:?}"),
     }

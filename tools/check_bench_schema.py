@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate bench_runner JSON artifacts against their declared schemas.
+
+Every `BENCH_*.json` the CI jobs emit declares a `schema` identifier
+(`dsf-bench-<tier>/vN`). This checker pins each tier to the schema
+version the repo currently emits and verifies the report shape with a
+real JSON parser — a second, independent reader next to the strict
+line-oriented Rust ones, so a malformed artifact (or a schema bump that
+forgot a consumer) fails the pipeline instead of uploading garbage.
+
+For each file it checks:
+  * the document parses as JSON and is an object;
+  * `schema` matches the expected identifier for the tier (inferred from
+    the file name, e.g. BENCH_executor.json -> dsf-bench-executor/v3;
+    BENCH_scale.json is the executor schema too);
+  * `mode` is a non-empty string and `entries` a non-empty list;
+  * every entry carries the tier's required fields with the right types
+    (optional fields — `speedup_milli`, `mem_peak_bytes` — are type
+    checked when present).
+
+Usage: python3 tools/check_bench_schema.py FILE.json [FILE.json ...]
+Exits 1 listing every violation, 0 when all files validate.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Tier -> (expected schema identifier, required entry fields, optional
+# entry fields). Bump the version here in the same commit that bumps the
+# Rust SCHEMA constant.
+WALL = {"min": int, "mean": int, "max": int}
+TIERS = {
+    "executor": (
+        "dsf-bench-executor/v3",
+        {
+            "name": str,
+            "n": int,
+            "m": int,
+            "threads": int,
+            "rounds": int,
+            "messages": int,
+            "activations": int,
+            "wall_ns": WALL,
+        },
+        {"speedup_milli": int, "mem_peak_bytes": int},
+    ),
+    "conformance": (
+        "dsf-bench-conformance/v1",
+        {
+            "name": str,
+            "n": int,
+            "m": int,
+            "k": int,
+            "t": int,
+            "weight": int,
+            "cert_lower_milli": int,
+            "cert_upper": int,
+            "ratio_milli": int,
+        },
+        {},
+    ),
+    "service": (
+        "dsf-bench-service/v1",
+        {
+            "name": str,
+            "jobs": int,
+            "batch": int,
+            "workers": int,
+            "rounds": int,
+            "messages": int,
+            "arena_reuses": int,
+            "arena_builds": int,
+            "wall_ns": int,
+            "solves_per_sec_milli": int,
+        },
+        {},
+    ),
+    "server": (
+        "dsf-bench-server/v1",
+        {
+            "name": str,
+            "jobs": int,
+            "workers": int,
+            "queue_capacity": int,
+            "rate_milli_x": int,
+            "rounds": int,
+            "messages": int,
+            "wall_ns": int,
+            "offered_per_sec_milli": int,
+            "p50_ns": int,
+            "p99_ns": int,
+            "solves_per_sec_milli": int,
+        },
+        {},
+    ),
+}
+
+# File stem -> tier. The scale artifacts reuse the executor schema.
+STEMS = {
+    "BENCH_executor": "executor",
+    "BENCH_scale": "executor",
+    "BENCH_conformance": "conformance",
+    "BENCH_service": "service",
+    "BENCH_server": "server",
+}
+
+
+def is_int(v) -> bool:
+    # bool is an int subclass in Python; a JSON true/false is never a
+    # valid count.
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def check_field(entry: dict, field: str, ty, errors, where: str):
+    v = entry.get(field)
+    if isinstance(ty, dict):  # nested object, e.g. wall_ns {min,mean,max}
+        if not isinstance(v, dict):
+            errors.append(f"{where}: field {field!r} must be an object")
+            return
+        for k in ty:
+            if not is_int(v.get(k)):
+                errors.append(f"{where}: field {field}.{k} must be an integer")
+        for k in v:
+            if k not in ty:
+                errors.append(f"{where}: unexpected field {field}.{k}")
+    elif ty is int:
+        if not is_int(v):
+            errors.append(f"{where}: field {field!r} must be an integer")
+    elif not isinstance(v, ty) or (ty is str and not v):
+        errors.append(f"{where}: field {field!r} must be a non-empty {ty.__name__}")
+
+
+def tier_for(path: Path):
+    for stem, tier in STEMS.items():
+        if path.name.startswith(stem):
+            return tier
+    return None
+
+
+def check_file(path: Path, errors):
+    tier = tier_for(path)
+    if tier is None:
+        errors.append(
+            f"{path}: unknown artifact name (expected one of "
+            f"{', '.join(sorted(STEMS))})"
+        )
+        return
+    expected_schema, required, optional = TIERS[tier]
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as e:
+        errors.append(f"{path}: unreadable or invalid JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: top level must be a JSON object")
+        return
+    if doc.get("schema") != expected_schema:
+        errors.append(
+            f"{path}: schema {doc.get('schema')!r}, expected {expected_schema!r}"
+        )
+    mode = doc.get("mode")
+    if not isinstance(mode, str) or not mode:
+        errors.append(f"{path}: 'mode' must be a non-empty string")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        errors.append(f"{path}: 'entries' must be a non-empty list")
+        return
+    known = set(required) | set(optional)
+    for i, entry in enumerate(entries):
+        where = f"{path}: entries[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for field, ty in required.items():
+            if field not in entry:
+                errors.append(f"{where}: missing field {field!r}")
+            else:
+                check_field(entry, field, ty, errors, where)
+        for field, ty in optional.items():
+            if field in entry:
+                check_field(entry, field, ty, errors, where)
+        for field in entry:
+            if field not in known:
+                errors.append(f"{where}: unexpected field {field!r}")
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: check_bench_schema.py FILE.json [FILE.json ...]", file=sys.stderr)
+        return 2
+    errors = []
+    for a in argv:
+        check_file(Path(a), errors)
+    if errors:
+        print("bench schema violations:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench_schema: {len(argv)} artifact(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
