@@ -319,7 +319,28 @@ fn run_conformance(args: &Args) -> ExitCode {
         );
     }
     println!(
-        "\n{} records over {} mode corpus (ratio = weight / certified upper bound)",
+        "\n{:<22} {:>7} {:>9} {:>11} {:>11} {:>11}",
+        "solver", "entries", "families", "mean ratio", "max ratio", "max bound"
+    );
+    for s in &report.solvers {
+        println!(
+            "{:<22} {:>7} {:>9} {:>11.3} {:>11.3} {:>11.3}",
+            s.solver,
+            s.entries,
+            s.families,
+            s.mean_ratio_milli as f64 / 1000.0,
+            s.max_ratio_milli as f64 / 1000.0,
+            s.max_bound_milli as f64 / 1000.0
+        );
+    }
+    let (beaten, compared) = conformance::families_beating_det(&report.entries);
+    println!(
+        "\ngreedy+local_search beats det's mean ratio on {beaten} of {compared} \
+         families (gate: >= {})",
+        compared.div_ceil(2)
+    );
+    println!(
+        "{} records over {} mode corpus (ratio = weight / certified upper bound)",
         report.entries.len(),
         report.mode
     );

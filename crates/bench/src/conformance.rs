@@ -3,33 +3,44 @@
 //! per-family ratio distribution as machine-readable JSON
 //! (`BENCH_conformance.json`).
 //!
-//! # JSON schema (`dsf-bench-conformance/v1`)
+//! # JSON schema (`dsf-bench-conformance/v2`)
 //!
 //! ```json
 //! {
-//!   "schema": "dsf-bench-conformance/v1",
+//!   "schema": "dsf-bench-conformance/v2",
 //!   "mode": "quick",
 //!   "violations": 0,
+//!   "solvers": [
+//!     {"solver": "det", "entries": 36, "families": 9,
+//!      "mean_ratio_milli": 1210, "max_ratio_milli": 1833,
+//!      "max_bound_milli": 2350}
+//!   ],
 //!   "entries": [
 //!     {"name": "conformance/gnp/matched_clusters/seed=0/det", "n": 20,
 //!      "m": 52, "k": 4, "t": 12, "weight": 37, "cert_lower_milli": 30000,
-//!      "cert_upper": 41, "ratio_milli": 903}
+//!      "cert_upper": 41, "ratio_milli": 903, "bound_milli": 2350}
 //!   ]
 //! }
 //! ```
 //!
 //! One entry object per line (same line-oriented convention as the
 //! executor schema). `ratio_milli` is `⌈1000 · weight / cert_upper⌉` — an
-//! integer so the report is bit-identical across machines; `cert_lower_milli`
-//! is the certified lower bound scaled by 1000 and rounded. Everything in
-//! the report is deterministic; the gate is the `violations` count (the
-//! runner exits non-zero when it is not 0).
+//! integer so the report is bit-identical across machines;
+//! `cert_lower_milli` is the certified lower bound scaled by 1000 and
+//! rounded. v2 adds, per entry, the ratio ceiling the oracle held that
+//! solver to (`bound_milli`, so `ratio_milli ≤ bound_milli` is checkable
+//! offline by `tools/check_bench_schema.py`) and a per-solver `solvers`
+//! summary block. Everything in the report is deterministic; the gate is
+//! the `violations` count (the runner exits non-zero when it is not 0) —
+//! which since v2 includes the beat-the-det condition: `greedy +
+//! local_search` must match or beat `det`'s mean ratio on at least half
+//! of the graph families.
 
 use dsf_workloads::conformance::{check_entry, EntryOutcome};
 use dsf_workloads::corpus::{corpus, CorpusEntry, Tier};
 
 /// Identifier of the emitted JSON layout.
-pub const SCHEMA: &str = "dsf-bench-conformance/v1";
+pub const SCHEMA: &str = "dsf-bench-conformance/v2";
 
 /// One solver-on-instance record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +63,26 @@ pub struct ConfEntry {
     pub cert_upper: u64,
     /// `⌈1000 · weight / cert_upper⌉`.
     pub ratio_milli: u64,
+    /// The ratio ceiling the oracle held this solver to, in milli units
+    /// (`ratio_milli ≤ bound_milli` whenever the gate passed).
+    pub bound_milli: u64,
+}
+
+/// Per-solver aggregate over the whole sweep (the v2 `solvers` block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverSummary {
+    /// Solver name, e.g. `greedy+local_search`.
+    pub solver: String,
+    /// Records contributing to the aggregate.
+    pub entries: usize,
+    /// Distinct graph families covered.
+    pub families: usize,
+    /// Mean achieved `ratio_milli` (integer division).
+    pub mean_ratio_milli: u64,
+    /// Worst achieved `ratio_milli`.
+    pub max_ratio_milli: u64,
+    /// Loosest per-entry ceiling the solver was held to.
+    pub max_bound_milli: u64,
 }
 
 /// A full conformance report.
@@ -61,8 +92,82 @@ pub struct ConformanceReport {
     pub mode: String,
     /// Oracle violations across the sweep (0 = gate passes).
     pub violations: Vec<String>,
+    /// Per-solver aggregates, in first-appearance order.
+    pub solvers: Vec<SolverSummary>,
     /// Per solver-on-instance records, in corpus order.
     pub entries: Vec<ConfEntry>,
+}
+
+/// Splits a record name `conformance/<family>/<pattern>/seed=<s>/<solver>`
+/// into its family and solver parts.
+fn family_solver(name: &str) -> (&str, &str) {
+    let parts: Vec<&str> = name.split('/').collect();
+    (parts[1], parts[parts.len() - 1])
+}
+
+/// Aggregates `entries` into the per-solver v2 summary block.
+pub fn solver_summaries(entries: &[ConfEntry]) -> Vec<SolverSummary> {
+    let mut order: Vec<&str> = Vec::new();
+    for e in entries {
+        let (_, solver) = family_solver(&e.name);
+        if !order.contains(&solver) {
+            order.push(solver);
+        }
+    }
+    order
+        .into_iter()
+        .map(|solver| {
+            let rs: Vec<&ConfEntry> = entries
+                .iter()
+                .filter(|e| family_solver(&e.name).1 == solver)
+                .collect();
+            let mut families: Vec<&str> = rs.iter().map(|e| family_solver(&e.name).0).collect();
+            families.sort_unstable();
+            families.dedup();
+            SolverSummary {
+                solver: solver.to_string(),
+                entries: rs.len(),
+                families: families.len(),
+                mean_ratio_milli: rs.iter().map(|e| e.ratio_milli).sum::<u64>() / rs.len() as u64,
+                max_ratio_milli: rs.iter().map(|e| e.ratio_milli).max().unwrap_or(0),
+                max_bound_milli: rs.iter().map(|e| e.bound_milli).max().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// The beat-the-det gate: on how many graph families does
+/// `greedy+local_search` achieve a mean ratio ≤ `det`'s? Returns
+/// `(families_beaten, families_compared)`; compared via summed
+/// `ratio_milli` (equal record counts per family), so no rounding noise.
+pub fn families_beating_det(entries: &[ConfEntry]) -> (usize, usize) {
+    let mut families: Vec<&str> = entries.iter().map(|e| family_solver(&e.name).0).collect();
+    families.sort_unstable();
+    families.dedup();
+    let sum_for = |family: &str, solver: &str| -> Option<(u64, u64)> {
+        let rs: Vec<u64> = entries
+            .iter()
+            .filter(|e| family_solver(&e.name) == (family, solver))
+            .map(|e| e.ratio_milli)
+            .collect();
+        (!rs.is_empty()).then(|| (rs.iter().sum(), rs.len() as u64))
+    };
+    let mut beaten = 0;
+    let mut compared = 0;
+    for family in families {
+        let (Some((ls_sum, ls_n)), Some((det_sum, det_n))) = (
+            sum_for(family, "greedy+local_search"),
+            sum_for(family, "det"),
+        ) else {
+            continue;
+        };
+        compared += 1;
+        // mean_ls ≤ mean_det ⟺ ls_sum·det_n ≤ det_sum·ls_n.
+        if ls_sum * det_n <= det_sum * ls_n {
+            beaten += 1;
+        }
+    }
+    (beaten, compared)
 }
 
 fn records_of(entry: &CorpusEntry, outcome: &EntryOutcome) -> Vec<ConfEntry> {
@@ -81,6 +186,7 @@ fn records_of(entry: &CorpusEntry, outcome: &EntryOutcome) -> Vec<ConfEntry> {
                 cert_lower_milli: (entry.certificate.lower * 1000.0).round() as u64,
                 cert_upper: entry.certificate.upper,
                 ratio_milli: (1000 * r.weight).div_ceil(upper),
+                bound_milli: r.bound_milli,
             }
         })
         .collect()
@@ -101,9 +207,21 @@ pub fn collect(quick: bool) -> ConformanceReport {
                 .map(|v| format!("{}: {v}", entry.id)),
         );
     }
+    // The beat-the-det gate (in-harness, not just report-only): the
+    // improved greedy must match or beat det's mean ratio on at least
+    // half of the graph families.
+    let (beaten, compared) = families_beating_det(&entries);
+    if 2 * beaten < compared {
+        violations.push(format!(
+            "[greedy+local_search] beats det's mean ratio on only {beaten} of \
+             {compared} families (need >= {})",
+            compared.div_ceil(2)
+        ));
+    }
     ConformanceReport {
         mode: if quick { "quick" } else { "full" }.to_string(),
         violations,
+        solvers: solver_summaries(&entries),
         entries,
     }
 }
@@ -116,13 +234,29 @@ impl ConformanceReport {
         s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str(&format!("  \"violations\": {},\n", self.violations.len()));
+        s.push_str("  \"solvers\": [\n");
+        for (i, sv) in self.solvers.iter().enumerate() {
+            let comma = if i + 1 < self.solvers.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"solver\": \"{}\", \"entries\": {}, \"families\": {}, \
+                 \"mean_ratio_milli\": {}, \"max_ratio_milli\": {}, \
+                 \"max_bound_milli\": {}}}{comma}\n",
+                sv.solver,
+                sv.entries,
+                sv.families,
+                sv.mean_ratio_milli,
+                sv.max_ratio_milli,
+                sv.max_bound_milli,
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \"t\": {}, \
                  \"weight\": {}, \"cert_lower_milli\": {}, \"cert_upper\": {}, \
-                 \"ratio_milli\": {}}}{comma}\n",
+                 \"ratio_milli\": {}, \"bound_milli\": {}}}{comma}\n",
                 e.name,
                 e.n,
                 e.m,
@@ -132,6 +266,7 @@ impl ConformanceReport {
                 e.cert_lower_milli,
                 e.cert_upper,
                 e.ratio_milli,
+                e.bound_milli,
             ));
         }
         s.push_str("  ]\n}\n");
@@ -172,44 +307,44 @@ impl ConformanceReport {
 mod tests {
     use super::*;
 
+    fn entry(name: &str, ratio_milli: u64) -> ConfEntry {
+        ConfEntry {
+            name: name.into(),
+            n: 20,
+            m: 50,
+            k: 3,
+            t: 6,
+            weight: 30,
+            cert_lower_milli: 28000,
+            cert_upper: 28,
+            ratio_milli,
+            bound_milli: 2000,
+        }
+    }
+
     fn sample() -> ConformanceReport {
+        let entries = vec![
+            entry("conformance/gnp/long_range/seed=0/det", 1072),
+            entry("conformance/gnp/long_range/seed=0/moat", 1000),
+        ];
         ConformanceReport {
             mode: "quick".into(),
             violations: Vec::new(),
-            entries: vec![
-                ConfEntry {
-                    name: "conformance/gnp/long_range/seed=0/det".into(),
-                    n: 20,
-                    m: 50,
-                    k: 3,
-                    t: 6,
-                    weight: 30,
-                    cert_lower_milli: 28000,
-                    cert_upper: 28,
-                    ratio_milli: 1072,
-                },
-                ConfEntry {
-                    name: "conformance/gnp/long_range/seed=0/moat".into(),
-                    n: 20,
-                    m: 50,
-                    k: 3,
-                    t: 6,
-                    weight: 28,
-                    cert_lower_milli: 28000,
-                    cert_upper: 28,
-                    ratio_milli: 1000,
-                },
-            ],
+            solvers: solver_summaries(&entries),
+            entries,
         }
     }
 
     #[test]
-    fn json_has_schema_and_one_entry_per_line() {
+    fn json_has_schema_solver_block_and_one_entry_per_line() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": \"dsf-bench-conformance/v1\""));
+        assert!(json.contains("\"schema\": \"dsf-bench-conformance/v2\""));
         assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"bound_milli\": 2000"));
         let entry_lines = json.lines().filter(|l| l.contains("\"name\"")).count();
         assert_eq!(entry_lines, 2);
+        let solver_lines = json.lines().filter(|l| l.contains("\"solver\"")).count();
+        assert_eq!(solver_lines, 2);
     }
 
     #[test]
@@ -218,6 +353,40 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s[0], ("gnp/det".into(), 1072, 1072, 1072));
         assert_eq!(s[1], ("gnp/moat".into(), 1000, 1000, 1000));
+    }
+
+    #[test]
+    fn solver_summaries_aggregate_across_families() {
+        let entries = vec![
+            entry("conformance/gnp/long_range/seed=0/det", 1100),
+            entry("conformance/ring/long_range/seed=0/det", 1300),
+            entry("conformance/gnp/long_range/seed=0/moat", 1000),
+        ];
+        let s = solver_summaries(&entries);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].solver, "det");
+        assert_eq!(s[0].entries, 2);
+        assert_eq!(s[0].families, 2);
+        assert_eq!(s[0].mean_ratio_milli, 1200);
+        assert_eq!(s[0].max_ratio_milli, 1300);
+        assert_eq!(s[0].max_bound_milli, 2000);
+        assert_eq!(s[1].solver, "moat");
+    }
+
+    #[test]
+    fn beat_det_gate_counts_families() {
+        let entries = vec![
+            // Family gnp: improver (mean 1000) beats det (mean 1100).
+            entry("conformance/gnp/a/seed=0/det", 1100),
+            entry("conformance/gnp/a/seed=0/greedy+local_search", 1000),
+            // Family ring: improver loses.
+            entry("conformance/ring/a/seed=0/det", 1000),
+            entry("conformance/ring/a/seed=0/greedy+local_search", 1200),
+            // Family star: exact tie counts as beaten.
+            entry("conformance/star/a/seed=0/det", 1050),
+            entry("conformance/star/a/seed=0/greedy+local_search", 1050),
+        ];
+        assert_eq!(families_beating_det(&entries), (2, 3));
     }
 
     #[test]

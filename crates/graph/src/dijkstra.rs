@@ -75,6 +75,21 @@ pub fn shortest_paths(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
 /// The owning source of node `v` can be recovered by walking `parent`
 /// pointers; see [`voronoi_owner`].
 pub fn multi_source(g: &WeightedGraph, sources: &[NodeId]) -> ShortestPaths {
+    multi_source_with(g, sources, |e| g.weight(e))
+}
+
+/// [`multi_source`] with an overriding edge-weight function.
+///
+/// Unlike [`WeightedGraph`] construction, `weight` may return `0`: the
+/// greedy and local-search Steiner forest solvers use this to *contract*
+/// an already-selected edge set (selected edges cost nothing to reuse)
+/// without rebuilding the graph. The `(dist, hops, parent-id)`
+/// tie-breaking order is identical to [`multi_source`], so with
+/// `weight = |e| g.weight(e)` the two are interchangeable.
+pub fn multi_source_with<W>(g: &WeightedGraph, sources: &[NodeId], weight: W) -> ShortestPaths
+where
+    W: Fn(EdgeId) -> Weight,
+{
     let n = g.n();
     let mut dist = vec![INF; n];
     let mut hops = vec![u32::MAX; n];
@@ -97,11 +112,11 @@ pub fn multi_source(g: &WeightedGraph, sources: &[NodeId]) -> ShortestPaths {
             // assert); a sum that merely reaches the INF sentinel is
             // clamped and treated as unreachable, keeping the
             // `dist < INF ⇔ reachable` invariant.
-            let sum = d.checked_add(g.weight(e));
+            let sum = d.checked_add(weight(e));
             debug_assert!(
                 sum.is_some(),
                 "path weight overflow: {d} + {} wraps u64",
-                g.weight(e)
+                weight(e)
             );
             let nd = sum.unwrap_or(Weight::MAX).min(INF);
             if nd >= INF {
@@ -230,6 +245,40 @@ mod tests {
         // The unchecked add would have produced 2*(INF-1) ≈ u64::MAX/2,
         // which still compares as "reachable" nonsense.
         assert!(sp.dist[2] >= INF);
+    }
+
+    #[test]
+    fn multi_source_with_contracts_zero_weight_edges() {
+        // Path 0-1-2-3 with weights 5,5,5: contracting e1 (1-2) makes the
+        // 0→3 distance 10, and the path still reports all three edges.
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let sp = multi_source_with(&g, &[NodeId(0)], |e| {
+            if e == EdgeId(1) {
+                0
+            } else {
+                g.weight(e)
+            }
+        });
+        assert_eq!(sp.dist, vec![0, 5, 5, 10]);
+        assert_eq!(
+            sp.path_edges(NodeId(3)),
+            vec![EdgeId(0), EdgeId(1), EdgeId(2)]
+        );
+    }
+
+    #[test]
+    fn multi_source_with_identity_weights_matches_multi_source() {
+        let g = crate::generators::gnp_connected(24, 0.2, 9, 11);
+        let sources = [NodeId(0), NodeId(13)];
+        let a = multi_source(&g, &sources);
+        let b = multi_source_with(&g, &sources, |e| g.weight(e));
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.parent, b.parent);
     }
 
     #[test]

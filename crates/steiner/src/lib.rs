@@ -14,6 +14,10 @@
 //! * [`moat_rounded`] — **Algorithm 2**, moat growing with rounded radii
 //!   (Appendix D), giving `(2+ε)`-approximation with `O(log n / ε)` growth
 //!   phases;
+//! * [`greedy`] — the sequential gluttonous greedy of Gupta–Kumar
+//!   (arXiv:1412.7693), the "beat the 2+ε line" reference solver;
+//! * [`local_search`] — the swap/replace local-search improver of Groß
+//!   et al. (arXiv:1707.02753), a post-processor over any solution;
 //! * [`exact`] — an exact Steiner forest solver for small instances
 //!   (minimum over component partitions of per-block Dreyfus–Wagner trees),
 //!   the ground truth for every approximation-ratio experiment.
@@ -37,7 +41,9 @@
 //! ```
 
 pub mod exact;
+pub mod greedy;
 mod instance;
+pub mod local_search;
 pub mod moat;
 pub mod moat_rounded;
 mod solution;

@@ -272,4 +272,78 @@ mod tests {
         let full: ForestSolution = (0..3).map(EdgeId).collect();
         assert!(full.prune_to_minimal(&g, &inst).is_empty());
     }
+
+    #[test]
+    fn lsf_is_identity_on_forests_and_empty_input() {
+        let g = generators::gnp_connected(12, 0.3, 9, 3);
+        assert!(ForestSolution::empty()
+            .lightest_spanning_forest(&g)
+            .is_empty());
+        // A spanning tree of the graph survives unchanged.
+        let tree = ForestSolution::from_edges(dsf_graph::mst::kruskal(&g).edges);
+        assert_eq!(tree.lightest_spanning_forest(&g), tree);
+    }
+
+    #[test]
+    fn lsf_breaks_cycles_by_dropping_the_heaviest_edge() {
+        // Ring 0-1-2-3-0 with one heavy edge: the cycle loses exactly it.
+        let mut b = dsf_graph::GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 5).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 1).unwrap();
+        let g = b.build().unwrap();
+        let all: ForestSolution = (0..4).map(EdgeId).collect();
+        let lsf = all.lightest_spanning_forest(&g);
+        assert_eq!(lsf.edges(), &[EdgeId(0), EdgeId(1), EdgeId(3)]);
+        assert!(lsf.is_forest(&g));
+    }
+
+    #[test]
+    fn duplicate_edge_input_collapses_before_lsf_and_prune() {
+        let g = generators::path(4, 2);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(3)])
+            .build()
+            .unwrap();
+        // from_edges dedups, so the duplicated path is one forest...
+        let dup = ForestSolution::from_edges(vec![
+            EdgeId(0),
+            EdgeId(0),
+            EdgeId(1),
+            EdgeId(1),
+            EdgeId(2),
+            EdgeId(2),
+        ]);
+        assert_eq!(dup.len(), 3);
+        // ...that both normalizers treat as already clean.
+        assert_eq!(dup.lightest_spanning_forest(&g), dup);
+        assert_eq!(dup.prune_to_minimal(&g, &inst), dup);
+    }
+
+    #[test]
+    fn prune_single_pair_keeps_exactly_the_connecting_path() {
+        // Star with center 0: a single pair {1, 2} needs its two spokes,
+        // every other spoke goes.
+        let g = generators::star(6, 1, 0);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(2)])
+            .build()
+            .unwrap();
+        let full: ForestSolution = (0..5).map(EdgeId).collect();
+        let pruned = full.prune_to_minimal(&g, &inst);
+        assert_eq!(pruned.edges(), &[EdgeId(0), EdgeId(1)]);
+        assert!(inst.is_feasible(&g, &pruned));
+    }
+
+    #[test]
+    fn prune_on_an_already_minimal_forest_is_identity() {
+        let g = generators::path(5, 1);
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(1), NodeId(3)])
+            .build()
+            .unwrap();
+        let minimal = ForestSolution::from_edges(vec![EdgeId(1), EdgeId(2)]);
+        assert_eq!(minimal.prune_to_minimal(&g, &inst), minimal);
+    }
 }

@@ -1,0 +1,83 @@
+//! Property-based tests for the local-search improver: on random
+//! corpus-style instances, `improve` is feasibility-preserving (via the
+//! conformance oracle's `assert_feasible_forest`), monotonically
+//! non-increasing in weight per accepted move, deterministic, and
+//! idempotent at a local optimum.
+
+use proptest::prelude::*;
+
+use dsf_graph::{generators, EdgeId};
+use dsf_steiner::{greedy, local_search, random_instance, ForestSolution};
+use dsf_workloads::conformance::assert_feasible_forest;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Feasibility is preserved from any feasible starting point — here
+    /// the full edge set, the loosest feasible solution there is.
+    #[test]
+    fn improve_preserves_feasibility(seed in 0u64..500, n in 8usize..26, k in 1usize..4) {
+        let g = generators::gnp_connected(n, 0.25, 12, seed);
+        let inst = random_instance(&g, k, 2, seed);
+        let all: ForestSolution = (0..g.m() as u32).map(EdgeId).collect();
+        let out = local_search::improve(&g, &inst, &all);
+        assert_feasible_forest(&g, &inst, &out, &format!("improve, seed {seed}"));
+        prop_assert!(out.weight(&g) <= all.weight(&g));
+    }
+
+    /// The per-move weight trace is strictly decreasing, and never rises
+    /// above the (normalized) starting weight.
+    #[test]
+    fn accepted_moves_strictly_decrease_weight(seed in 0u64..500, n in 8usize..24) {
+        let g = generators::gnp_connected(n, 0.3, 10, seed);
+        let inst = random_instance(&g, 3, 2, seed);
+        let all: ForestSolution = (0..g.m() as u32).map(EdgeId).collect();
+        let out = local_search::improve_detailed(&g, &inst, &all);
+        prop_assert!(!out.capped);
+        let mut prev = all.weight(&g);
+        for &(kind, w) in &out.accepted {
+            prop_assert!(w < prev, "{kind:?} went {prev} -> {w}");
+            prev = w;
+        }
+        if let Some(&(_, last)) = out.accepted.last() {
+            prop_assert_eq!(out.forest.weight(&g), last);
+        }
+    }
+
+    /// Same input, same output — byte-for-byte, trace included.
+    #[test]
+    fn improve_is_deterministic(seed in 0u64..500, n in 8usize..22) {
+        let g = generators::gnp_connected(n, 0.25, 11, seed);
+        let inst = random_instance(&g, 2, 3, seed);
+        let start = greedy::solve_greedy(&g, &inst);
+        let a = local_search::improve_detailed(&g, &inst, &start);
+        let b = local_search::improve_detailed(&g, &inst, &start);
+        prop_assert_eq!(a.forest, b.forest);
+        prop_assert_eq!(a.accepted, b.accepted);
+    }
+
+    /// A local optimum is a fixed point: improving twice changes nothing
+    /// and the second pass accepts zero moves.
+    #[test]
+    fn improve_is_idempotent_at_a_local_optimum(seed in 0u64..500, n in 8usize..22) {
+        let g = generators::gnp_connected(n, 0.3, 9, seed);
+        let inst = random_instance(&g, 3, 2, seed);
+        let once = local_search::improve(&g, &inst, &greedy::solve_greedy(&g, &inst));
+        let again = local_search::improve_detailed(&g, &inst, &once);
+        prop_assert_eq!(&again.forest, &once);
+        prop_assert!(again.accepted.is_empty(),
+            "second pass still found moves: {:?}", again.accepted);
+    }
+
+    /// Improving the greedy solution never does worse than greedy — the
+    /// pairing the conformance lab reports as `greedy+local_search`.
+    #[test]
+    fn improved_greedy_never_loses_to_greedy(seed in 0u64..500, n in 10usize..24) {
+        let g = generators::gnp_connected(n, 0.25, 10, seed);
+        let inst = random_instance(&g, 3, 3, seed);
+        let start = greedy::solve_greedy(&g, &inst);
+        let out = local_search::improve(&g, &inst, &start);
+        prop_assert!(out.weight(&g) <= start.weight(&g));
+        assert_feasible_forest(&g, &inst, &out, &format!("greedy+improve, seed {seed}"));
+    }
+}

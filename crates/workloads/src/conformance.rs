@@ -32,8 +32,9 @@ use dsf_core::randomized::{solve_randomized, RandConfig};
 use dsf_graph::dyadic::Dyadic;
 use dsf_graph::{NodeId, Weight, WeightedGraph};
 use dsf_steiner::moat::MoatRun;
-use dsf_steiner::{moat, moat_rounded, ForestSolution, Instance};
+use dsf_steiner::{greedy, local_search, moat, moat_rounded, ForestSolution, Instance};
 
+use crate::certificate::Certificate;
 use crate::corpus::CorpusEntry;
 
 /// Checks that `f` connects every demand component and is acyclic.
@@ -104,6 +105,58 @@ pub fn randomized_log_factor(n: usize) -> f64 {
 /// per-component selection repeats the embedding lottery independently.
 pub fn khan_log_factor(n: usize) -> f64 {
     6.0 * (n as f64).ln()
+}
+
+/// The constant factor asserted for the gluttonous greedy and its
+/// local-search post-processing. Gupta–Kumar and Groß et al. prove
+/// constant ratios without pinning a small explicit constant, so — like
+/// [`randomized_log_factor`]'s `3.0` — this is the empirical envelope used
+/// throughout the experiments; in practice both solvers sit well under 2.
+pub const GREEDY_FACTOR: f64 = 4.0;
+
+/// Solver-agnostic acceptance checks for one solution against a corpus
+/// certificate: feasibility and forest-ness ([`check_feasible_forest`]),
+/// the certified lower bound (any feasible forest weighs at least
+/// `OPT ≥ lower`), and the `factor · upper + slack` ratio envelope
+/// ([`check_ratio_le`]).
+///
+/// [`check_entry`] routes every solver through this; the oracle mutation
+/// self-test (`tests/oracle_selftest.rs`) feeds it deliberately broken
+/// solutions to prove the gate can fail. Returns every violation, tagged
+/// `[solver]` (empty = accepted).
+pub fn check_solution(
+    g: &WeightedGraph,
+    inst: &Instance,
+    cert: &Certificate,
+    solver: &str,
+    forest: &ForestSolution,
+    factor: f64,
+    slack: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let w = forest.weight(g);
+    if let Err(e) = check_feasible_forest(g, inst, forest) {
+        violations.push(format!("[{solver}] {e}"));
+    }
+    if (w as f64) < cert.lower - 1e-6 {
+        violations.push(format!(
+            "[{solver}] weight {w} below certified lower bound {}",
+            cert.lower
+        ));
+    }
+    if let Err(e) = check_ratio_le(w, factor, cert.upper as f64, slack) {
+        violations.push(format!("[{solver}] {e}"));
+    }
+    violations
+}
+
+/// The per-entry ratio ceiling a solver committed to, in milli units:
+/// `⌈1000 · (factor · upper + slack) / upper⌉`. Emitted next to the
+/// achieved `ratio_milli` so the schema checker can replay the
+/// ratio-regression gate (`ratio_milli ≤ bound_milli`) offline.
+pub fn bound_milli(cert: &Certificate, factor: f64, slack: f64) -> u64 {
+    let upper = cert.upper.max(1) as f64;
+    ((1000.0 * (factor * upper + slack)) / upper).ceil() as u64
 }
 
 /// Merge endpoints of the distributed deterministic run, in merge order.
@@ -187,10 +240,13 @@ pub fn assert_ledger_budget(ledger: &RoundLedger, bandwidth_bits: usize, ctx: &s
 /// One solver's result on a corpus entry.
 #[derive(Debug, Clone)]
 pub struct SolverRecord {
-    /// Solver name (`det`, `randomized`, `khan`, `moat`, `moat_rounded`).
+    /// Solver name (`moat`, `moat_rounded`, `greedy`,
+    /// `greedy+local_search`, `det`, `randomized`, `khan`).
     pub solver: &'static str,
     /// Weight of the returned forest.
     pub weight: Weight,
+    /// The ratio ceiling this solver was held to ([`bound_milli`]).
+    pub bound_milli: u64,
 }
 
 /// The oracle's verdict on one corpus entry.
@@ -231,28 +287,19 @@ pub fn check_entry(entry: &CorpusEntry) -> EntryOutcome {
     let mut violations = Vec::new();
     let violate = |solver: &str, what: String| format!("[{solver}] {what}");
 
-    // Common per-solver checks: feasibility, forest-ness, the certified
-    // lower bound (any feasible forest weighs at least OPT ≥ lower), and
-    // the solver-specific upper ratio.
+    // Common per-solver checks, routed through the same [`check_solution`]
+    // seam the oracle self-test attacks with broken solutions.
     let mut base_checks = |solver: &'static str,
                            forest: &ForestSolution,
                            factor: f64,
                            slack: f64,
                            violations: &mut Vec<String>| {
-        let w = forest.weight(g);
-        if let Err(e) = check_feasible_forest(g, inst, forest) {
-            violations.push(violate(solver, e));
-        }
-        if (w as f64) < cert.lower - 1e-6 {
-            violations.push(violate(
-                solver,
-                format!("weight {w} below certified lower bound {}", cert.lower),
-            ));
-        }
-        if let Err(e) = check_ratio_le(w, factor, upper, slack) {
-            violations.push(violate(solver, e));
-        }
-        records.push(SolverRecord { solver, weight: w });
+        violations.extend(check_solution(g, inst, cert, solver, forest, factor, slack));
+        records.push(SolverRecord {
+            solver,
+            weight: forest.weight(g),
+            bound_milli: bound_milli(cert, factor, slack),
+        });
     };
 
     // Centralized Algorithm 1: 2-approximation via the primal-dual bound.
@@ -277,6 +324,49 @@ pub fn check_entry(entry: &CorpusEntry) -> EntryOutcome {
     // Centralized Algorithm 2 (rounded radii): (2+ε) with ε = 1/2.
     let rounded = moat_rounded::grow_rounded(g, inst, Dyadic::new(1, 1));
     base_checks("moat_rounded", &rounded.forest, 2.5, 0.0, &mut violations);
+
+    // The beat-the-2 sequential line: gluttonous greedy (Gupta–Kumar) and
+    // its local-search post-processing (Groß et al.). Both are
+    // deterministic by construction — run twice and hold them to it — and
+    // the improver must never raise the weight of what it was handed.
+    let greedy_forest = greedy::solve_greedy(g, inst);
+    if greedy_forest != greedy::solve_greedy(g, inst) {
+        violations.push(violate(
+            "greedy",
+            "repeated runs are not bit-identical".into(),
+        ));
+    }
+    base_checks(
+        "greedy",
+        &greedy_forest,
+        GREEDY_FACTOR,
+        0.0,
+        &mut violations,
+    );
+    let improved = local_search::improve(g, inst, &greedy_forest);
+    if improved != local_search::improve(g, inst, &greedy_forest) {
+        violations.push(violate(
+            "greedy+local_search",
+            "repeated runs are not bit-identical".into(),
+        ));
+    }
+    if improved.weight(g) > greedy_forest.weight(g) {
+        violations.push(violate(
+            "greedy+local_search",
+            format!(
+                "improve increased weight: {} from {}",
+                improved.weight(g),
+                greedy_forest.weight(g)
+            ),
+        ));
+    }
+    base_checks(
+        "greedy+local_search",
+        &improved,
+        GREEDY_FACTOR,
+        0.0,
+        &mut violations,
+    );
 
     // Shared distributed-solver protocol: run twice, check bit-identical
     // determinism and the ledger budget, and hand the first run back for
@@ -466,7 +556,53 @@ mod tests {
         let solvers: Vec<&str> = outcome.records.iter().map(|r| r.solver).collect();
         assert_eq!(
             solvers,
-            vec!["moat", "moat_rounded", "det", "randomized", "khan"]
+            vec![
+                "moat",
+                "moat_rounded",
+                "greedy",
+                "greedy+local_search",
+                "det",
+                "randomized",
+                "khan"
+            ]
         );
+        // Every record carries the ratio ceiling it was held to.
+        assert!(outcome.records.iter().all(|r| r.bound_milli >= 1000));
+    }
+
+    #[test]
+    fn check_solution_rejects_the_three_defect_classes() {
+        // Path 0-1-2 (unit edges) plus a heavy detour 0-3-2; demand {0,2};
+        // exact certificate OPT = 2.
+        let mut b = dsf_graph::GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(3), 100).unwrap();
+        b.add_edge(NodeId(3), NodeId(2), 100).unwrap();
+        let g = b.build().unwrap();
+        let inst = InstanceBuilder::new(&g)
+            .component(&[NodeId(0), NodeId(2)])
+            .build()
+            .unwrap();
+        let cert = crate::certificate::certify(&g, &inst);
+        let good = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1)]);
+        assert!(check_solution(&g, &inst, &cert, "good", &good, 2.0, 0.0).is_empty());
+        // Heavy detour: feasible but 100x over the 2·OPT envelope.
+        let heavy = ForestSolution::from_edges(vec![EdgeId(2), EdgeId(3)]);
+        let v = check_solution(&g, &inst, &cert, "heavy", &heavy, 2.0, 0.0);
+        assert!(v.iter().any(|e| e.contains("exceeds")), "{v:?}");
+    }
+
+    #[test]
+    fn bound_milli_is_the_scaled_ceiling() {
+        let cert = Certificate {
+            kind: crate::certificate::CertificateKind::Exact,
+            lower: 7.0,
+            upper: 7,
+        };
+        assert_eq!(bound_milli(&cert, 2.0, 0.0), 2000);
+        assert_eq!(bound_milli(&cert, 2.5, 0.0), 2500);
+        // Slack shows up scaled by 1000/upper, rounded up.
+        assert_eq!(bound_milli(&cert, 2.0, 1.0), 2143);
     }
 }

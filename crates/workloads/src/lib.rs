@@ -43,4 +43,4 @@ pub mod corpus;
 
 mod certificate;
 
-pub use certificate::{Certificate, CertificateKind};
+pub use certificate::{certify, Certificate, CertificateKind};

@@ -1,0 +1,145 @@
+//! Oracle mutation self-test: prove the conformance gate can *fail*.
+//!
+//! Every other tier asserts that correct solvers pass the oracle; none of
+//! them would notice an oracle that accepts everything. This tier feeds
+//! deliberately broken solutions into the same
+//! `workloads::conformance::check_solution` seam `check_entry` routes all
+//! solvers through, and asserts each defect class is rejected with the
+//! right error:
+//!
+//! * **dropped edge** — a demand pair left disconnected → "disconnected";
+//! * **added cycle** — a redundant edge closing a cycle → "cycle";
+//! * **inflated weight** — a feasible forest past the certified ratio
+//!   envelope → "exceeds".
+//!
+//! Plus the converse: the known-good solution passes, so the rejections
+//! above are the oracle discriminating, not refusing everything.
+
+use steiner_forest::prelude::*;
+use steiner_forest::workloads::certify;
+use steiner_forest::workloads::conformance::check_solution;
+use steiner_forest::workloads::corpus::{corpus, Tier};
+use steiner_forest::workloads::CertificateKind;
+
+/// A fixture where every defect class is expressible: square 0-1-2-3-0
+/// with a cheap side (0-1-2, unit edges) and a heavy side (0-3-2, weight
+/// 100 each), demand {0, 2}. The certificate is exact (k=1, t=2): OPT=2.
+fn fixture() -> (
+    WeightedGraph,
+    steiner_forest::steiner::Instance,
+    steiner_forest::workloads::Certificate,
+) {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 1).unwrap(); // e0
+    b.add_edge(NodeId(1), NodeId(2), 1).unwrap(); // e1
+    b.add_edge(NodeId(2), NodeId(3), 100).unwrap(); // e2
+    b.add_edge(NodeId(3), NodeId(0), 100).unwrap(); // e3
+    let g = b.build().unwrap();
+    let inst = InstanceBuilder::new(&g)
+        .component(&[NodeId(0), NodeId(2)])
+        .build()
+        .unwrap();
+    let cert = certify(&g, &inst);
+    assert_eq!(cert.kind, CertificateKind::Exact);
+    assert_eq!(cert.upper, 2, "fixture OPT must be the cheap side");
+    (g, inst, cert)
+}
+
+#[test]
+fn known_good_solution_is_accepted() {
+    let (g, inst, cert) = fixture();
+    let good = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1)]);
+    let v = check_solution(&g, &inst, &cert, "good", &good, 2.0, 0.0);
+    assert!(v.is_empty(), "oracle rejected the optimum: {v:?}");
+}
+
+#[test]
+fn dropped_edge_is_rejected_as_infeasible() {
+    let (g, inst, cert) = fixture();
+    // Drop e1 from the optimum: terminal 2 is cut off.
+    let broken = ForestSolution::from_edges(vec![EdgeId(0)]);
+    let v = check_solution(&g, &inst, &cert, "dropped", &broken, 2.0, 0.0);
+    assert!(
+        v.iter().any(|e| e.contains("disconnected")),
+        "missing the disconnection error: {v:?}"
+    );
+}
+
+#[test]
+fn added_cycle_is_rejected_as_non_forest() {
+    let (g, inst, cert) = fixture();
+    // All four edges: feasible, but the square is a cycle. Keep the
+    // envelope loose so only the cycle check can fire.
+    let cyclic = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]);
+    let v = check_solution(&g, &inst, &cert, "cyclic", &cyclic, 1000.0, 0.0);
+    assert_eq!(v.len(), 1, "exactly the cycle error: {v:?}");
+    assert!(v[0].contains("cycle"), "{v:?}");
+}
+
+#[test]
+fn inflated_weight_is_rejected_past_the_certificate() {
+    let (g, inst, cert) = fixture();
+    // The heavy detour: feasible, acyclic, weight 200 = 100·OPT.
+    let heavy = ForestSolution::from_edges(vec![EdgeId(2), EdgeId(3)]);
+    let v = check_solution(&g, &inst, &cert, "inflated", &heavy, 2.0, 0.0);
+    assert_eq!(v.len(), 1, "exactly the ratio error: {v:?}");
+    assert!(v[0].contains("exceeds"), "{v:?}");
+    // And the violation names the offending solver tag.
+    assert!(v[0].contains("[inflated]"), "{v:?}");
+}
+
+#[test]
+fn empty_solution_against_real_demand_is_rejected() {
+    let (g, inst, cert) = fixture();
+    let v = check_solution(
+        &g,
+        &inst,
+        &cert,
+        "empty",
+        &ForestSolution::empty(),
+        2.0,
+        0.0,
+    );
+    assert!(v.iter().any(|e| e.contains("disconnected")), "{v:?}");
+    // The lower-bound check fires too: weight 0 < certified lower 2.
+    assert!(v.iter().any(|e| e.contains("lower bound")), "{v:?}");
+}
+
+/// The same three defect classes, injected on a *real* corpus entry (the
+/// first quick-tier instance) rather than a hand-built fixture: mutate
+/// the centralized moat solution and assert the oracle notices each time.
+#[test]
+fn mutated_corpus_solutions_are_rejected() {
+    let entry = &corpus(Tier::Quick)[0];
+    let (g, inst, cert) = (&entry.graph, &entry.instance, &entry.certificate);
+    let good = steiner_forest::steiner::moat::grow(g, inst).forest;
+    assert!(
+        check_solution(g, inst, cert, "moat", &good, 2.0, 0.0).is_empty(),
+        "baseline moat solution must pass"
+    );
+
+    // Dropped edge: remove one solution edge → some pair disconnects
+    // (the moat forest is minimal, so every edge is load-bearing).
+    let dropped: ForestSolution = good.edges()[1..].iter().copied().collect();
+    let v = check_solution(g, inst, cert, "dropped", &dropped, 2.0, 0.0);
+    assert!(v.iter().any(|e| e.contains("disconnected")), "{v:?}");
+
+    // Added cycle: close a cycle with any non-solution edge inside one
+    // tree (exists: corpus graphs are connected with m > n-1).
+    let comps = g.components_of(good.edges());
+    let chord = (0..g.m() as u32).map(EdgeId).find(|&e| {
+        let ed = g.edge(e);
+        !good.contains(e) && comps[ed.u.idx()] == comps[ed.v.idx()]
+    });
+    if let Some(chord) = chord {
+        let cyclic = good.union(&ForestSolution::from_edges(vec![chord]));
+        let v = check_solution(g, inst, cert, "cyclic", &cyclic, 1000.0, 0.0);
+        assert!(v.iter().any(|e| e.contains("cycle")), "{v:?}");
+    }
+
+    // Inflated weight: the full edge set of the graph is feasible but far
+    // past 2·upper on every corpus graph (and cyclic; check both fire).
+    let everything: ForestSolution = (0..g.m() as u32).map(EdgeId).collect();
+    let v = check_solution(g, inst, cert, "inflated", &everything, 2.0, 0.0);
+    assert!(v.iter().any(|e| e.contains("exceeds")), "{v:?}");
+}

@@ -16,7 +16,12 @@ For each file it checks:
   * `mode` is a non-empty string and `entries` a non-empty list;
   * every entry carries the tier's required fields with the right types
     (optional fields — `speedup_milli`, `mem_peak_bytes` — are type
-    checked when present).
+    checked when present);
+  * conformance (v2) only: the per-solver `solvers` summary block has
+    exactly the expected fields, its aggregates replay from the entries
+    (mean/max ratio, max bound, entry and family counts), and the
+    ratio-regression gate holds — every entry's achieved `ratio_milli`
+    is within the `bound_milli` ceiling its solver was certified to.
 
 Usage: python3 tools/check_bench_schema.py FILE.json [FILE.json ...]
 Exits 1 listing every violation, 0 when all files validate.
@@ -46,7 +51,7 @@ TIERS = {
         {"speedup_milli": int, "mem_peak_bytes": int},
     ),
     "conformance": (
-        "dsf-bench-conformance/v1",
+        "dsf-bench-conformance/v2",
         {
             "name": str,
             "n": int,
@@ -57,6 +62,7 @@ TIERS = {
             "cert_lower_milli": int,
             "cert_upper": int,
             "ratio_milli": int,
+            "bound_milli": int,
         },
         {},
     ),
@@ -131,6 +137,85 @@ def check_field(entry: dict, field: str, ty, errors, where: str):
         errors.append(f"{where}: field {field!r} must be a non-empty {ty.__name__}")
 
 
+# Required fields of one conformance `solvers` summary object (v2).
+SOLVER_SUMMARY_FIELDS = {
+    "solver": str,
+    "entries": int,
+    "families": int,
+    "mean_ratio_milli": int,
+    "max_ratio_milli": int,
+    "max_bound_milli": int,
+}
+
+
+def split_name(name: str):
+    """conformance/<family>/<pattern>/seed=<s>/<solver> -> (family, solver)."""
+    parts = name.split("/")
+    return (parts[1] if len(parts) > 1 else ""), parts[-1]
+
+
+def check_conformance_extras(path: Path, doc: dict, entries: list, errors):
+    """v2 extras: solvers block shape + replay, and the ratio-regression gate."""
+    # Ratio regression: achieved ratio within the certified ceiling.
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            continue
+        ratio, bound = entry.get("ratio_milli"), entry.get("bound_milli")
+        if is_int(ratio) and is_int(bound) and ratio > bound:
+            errors.append(
+                f"{path}: entries[{i}] ({entry.get('name')}): ratio regression — "
+                f"ratio_milli {ratio} exceeds bound_milli {bound}"
+            )
+
+    solvers = doc.get("solvers")
+    if not isinstance(solvers, list) or not solvers:
+        errors.append(f"{path}: 'solvers' must be a non-empty list")
+        return
+    # Recompute the aggregates from the entries.
+    by_solver = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            continue
+        family, solver = split_name(entry["name"])
+        by_solver.setdefault(solver, {"ratios": [], "bounds": [], "families": set()})
+        by_solver[solver]["ratios"].append(entry.get("ratio_milli", 0))
+        by_solver[solver]["bounds"].append(entry.get("bound_milli", 0))
+        by_solver[solver]["families"].add(family)
+    for i, s in enumerate(solvers):
+        where = f"{path}: solvers[{i}]"
+        if not isinstance(s, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for field, ty in SOLVER_SUMMARY_FIELDS.items():
+            if field not in s:
+                errors.append(f"{where}: missing field {field!r}")
+            else:
+                check_field(s, field, ty, errors, where)
+        for field in s:
+            if field not in SOLVER_SUMMARY_FIELDS:
+                errors.append(f"{where}: unexpected field {field!r}")
+        name = s.get("solver")
+        got = by_solver.get(name)
+        if got is None:
+            errors.append(f"{where}: solver {name!r} has no entries")
+            continue
+        expect = {
+            "entries": len(got["ratios"]),
+            "families": len(got["families"]),
+            "mean_ratio_milli": sum(got["ratios"]) // len(got["ratios"]),
+            "max_ratio_milli": max(got["ratios"]),
+            "max_bound_milli": max(got["bounds"]),
+        }
+        for field, want in expect.items():
+            if is_int(s.get(field)) and s[field] != want:
+                errors.append(
+                    f"{where}: {field} is {s[field]} but the entries replay to {want}"
+                )
+    missing = sorted(set(by_solver) - {s.get("solver") for s in solvers if isinstance(s, dict)})
+    if missing:
+        errors.append(f"{path}: solvers block is missing {missing}")
+
+
 def tier_for(path: Path):
     for stem, tier in STEMS.items():
         if path.name.startswith(stem):
@@ -183,6 +268,8 @@ def check_file(path: Path, errors):
         for field in entry:
             if field not in known:
                 errors.append(f"{where}: unexpected field {field!r}")
+    if tier == "conformance":
+        check_conformance_extras(path, doc, entries, errors)
 
 
 def main(argv):
