@@ -17,11 +17,13 @@
 //! regenerate the baseline by copying the fresh output over it.
 //!
 //! **Scale mode** (`--scale`) runs the dense-gossip scaling tier: large
-//! path/grid/clustered graphs (n up to ~100k) through the single-threaded
-//! and sharded executors at worker-thread counts {1, 2, 4, 8}, asserting
+//! path/grid/clustered graphs (n up to ~100k) plus a skewed RMAT
+//! power-law instance through the single-threaded and work-stealing
+//! executors at worker-thread counts {1, 2, 4, 8}, asserting
 //! bit-identical deterministic metrics and reporting wall-clock speedups
-//! (`speedup_milli`). No baseline gates this mode — wall-clock is the
-//! product — so `--check` is rejected here.
+//! (`speedup_milli`) alongside the per-run steal and utilization
+//! counters. No baseline gates this mode — wall-clock is the product —
+//! so `--check` is rejected here.
 //!
 //! **Scale-xl mode** (`--scale-xl`) runs the memory-compact tier: RMAT
 //! power-law graphs (n=10M at edge factor 2; `--quick` shrinks to
@@ -46,7 +48,11 @@
 //! rejected).
 //!
 //! Every mode prints the effective worker-thread count in its header, so
-//! a malformed `DSF_THREADS` cannot silently run a gate single-threaded.
+//! a malformed `DSF_THREADS` cannot silently run a gate single-threaded —
+//! and, next to it, the process-wide work-stealing observability totals
+//! (sharded runs, worker-rounds, slots, steals, idle waits from
+//! `dsf_congest::sched_obs_totals`), which are report-only by contract:
+//! the deterministic gates are blind to them.
 //!
 //! **Service mode** (`--service`) benchmarks the batched solver service
 //! (`dsf-service`) over the workloads corpus at batch sizes {1, 16, 256}
@@ -76,7 +82,7 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
   --quick        CI smoke sizes (quick corpus tier in conformance mode,
                  shrunken graphs in scale mode)
   --out PATH     output JSON path (default BENCH_executor.json,
-                 BENCH_scale.json with --scale-xl, or
+                 BENCH_scale.json with --scale/--scale-xl, or
                  BENCH_conformance.json with --conformance)
   --check PATH   executor mode only: gate deterministic metrics against a
                  checked-in baseline report
@@ -199,6 +205,19 @@ fn threads_header() -> String {
     )
 }
 
+/// The process-wide work-stealing effort totals, printed in every mode's
+/// header after its workloads ran. All counters are report-only
+/// scheduling facts — single-threaded modes legitimately print all
+/// zeros, and no gate reads them.
+fn sched_obs_header() -> String {
+    let o = dsf_congest::sched_obs_totals();
+    format!(
+        "work-stealing obs: {} sharded runs, {} busy worker-rounds, {} slots, \
+         {} chunks stolen, {} idle waits",
+        o.sharded_runs, o.worker_rounds, o.slots_processed, o.chunks_stolen, o.idle_waits,
+    )
+}
+
 fn run_server(args: &Args) -> ExitCode {
     let out_path = args
         .out
@@ -213,9 +232,10 @@ fn run_server(args: &Args) -> ExitCode {
     }
 
     println!(
-        "# bench_runner --server ({} mode) -> {out_path}\n# {}\n",
+        "# bench_runner --server ({} mode) -> {out_path}\n# {}\n# {}\n",
         report.mode,
-        threads_header()
+        threads_header(),
+        sched_obs_header()
     );
     println!(
         "{:<24} {:>5} {:>3} {:>5} {:>6} {:>9} {:>11} {:>11} {:>11} {:>10}",
@@ -262,9 +282,10 @@ fn run_service(args: &Args) -> ExitCode {
     }
 
     println!(
-        "# bench_runner --service ({} mode) -> {out_path}\n# {}\n",
+        "# bench_runner --service ({} mode) -> {out_path}\n# {}\n# {}\n",
         report.mode,
-        threads_header()
+        threads_header(),
+        sched_obs_header()
     );
     println!(
         "{:<44} {:>5} {:>3} {:>9} {:>11} {:>7} {:>7} {:>12} {:>10}",
@@ -302,9 +323,10 @@ fn run_conformance(args: &Args) -> ExitCode {
     }
 
     println!(
-        "# bench_runner --conformance ({} mode) -> {out_path}\n# {}\n",
+        "# bench_runner --conformance ({} mode) -> {out_path}\n# {}\n# {}\n",
         report.mode,
-        threads_header()
+        threads_header(),
+        sched_obs_header()
     );
     println!(
         "{:<28} {:>11} {:>11} {:>11}",
@@ -358,7 +380,7 @@ fn run_conformance(args: &Args) -> ExitCode {
 }
 
 fn run_executor(args: &Args) -> ExitCode {
-    let default_out = if args.scale_xl {
+    let default_out = if args.scale_xl || args.scale {
         "BENCH_scale.json"
     } else {
         "BENCH_executor.json"
@@ -378,12 +400,13 @@ fn run_executor(args: &Args) -> ExitCode {
     }
 
     println!(
-        "# bench_runner ({} mode) -> {out_path}\n# {}\n",
+        "# bench_runner ({} mode) -> {out_path}\n# {}\n# {}\n",
         report.mode,
-        threads_header()
+        threads_header(),
+        sched_obs_header()
     );
     println!(
-        "{:<44} {:>8} {:>9} {:>3} {:>9} {:>11} {:>12} {:>12} {:>8} {:>10}",
+        "{:<44} {:>8} {:>9} {:>3} {:>9} {:>11} {:>12} {:>12} {:>8} {:>7} {:>6} {:>10}",
         "workload",
         "n",
         "m",
@@ -393,6 +416,8 @@ fn run_executor(args: &Args) -> ExitCode {
         "activations",
         "mean wall",
         "speedup",
+        "steals",
+        "util",
         "mem peak"
     );
     for e in &report.entries {
@@ -404,8 +429,16 @@ fn run_executor(args: &Args) -> ExitCode {
             .mem_peak_bytes
             .map(|b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64))
             .unwrap_or_else(|| "-".into());
+        let steals = e
+            .steals
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "-".into());
+        let util = e
+            .utilization_milli
+            .map(|u| format!("{:.0}%", u as f64 / 10.0))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<44} {:>8} {:>9} {:>3} {:>9} {:>11} {:>12} {:>9.3} ms {:>8} {:>10}",
+            "{:<44} {:>8} {:>9} {:>3} {:>9} {:>11} {:>12} {:>9.3} ms {:>8} {:>7} {:>6} {:>10}",
             e.name,
             e.n,
             e.m,
@@ -415,6 +448,8 @@ fn run_executor(args: &Args) -> ExitCode {
             e.activations,
             e.wall_ns.mean as f64 / 1e6,
             speedup,
+            steals,
+            util,
             mem,
         );
     }

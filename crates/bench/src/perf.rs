@@ -17,11 +17,11 @@
 //!   machine-dependent, report-only, tracked as a trajectory via the CI
 //!   artifact.
 //!
-//! # JSON schema (`dsf-bench-executor/v3`)
+//! # JSON schema (`dsf-bench-executor/v4`)
 //!
 //! ```json
 //! {
-//!   "schema": "dsf-bench-executor/v3",
+//!   "schema": "dsf-bench-executor/v4",
 //!   "mode": "quick",
 //!   "entries": [
 //!     {"name": "executor/bfs_wave/path/n=10000/event", "n": 10000,
@@ -33,7 +33,10 @@
 //!
 //! (v2 added `threads` everywhere and `speedup_milli` on sharded scale
 //! entries; v3 added the optional `mem_peak_bytes` on `--scale-xl`
-//! entries.) One entry per line; names use only `[a-z0-9_/=.-]`, so no
+//! entries; v4 added the optional report-only `steals` and
+//! `utilization_milli` work-stealing counters on sharded scale entries.
+//! The reader accepts v3 baselines — v4 only *adds* optional fields.)
+//! One entry per line; names use only `[a-z0-9_/=.-]`, so no
 //! JSON string escaping is ever needed — and the reader *rejects* any
 //! escape it meets, along with malformed numbers, so a corrupt baseline
 //! can never silently pass the `--check` gate.
@@ -51,7 +54,12 @@ use dsf_graph::{generators, NodeId, WeightedGraph};
 use dsf_steiner::random_instance;
 
 /// Identifier of the emitted JSON layout.
-pub const SCHEMA: &str = "dsf-bench-executor/v3";
+pub const SCHEMA: &str = "dsf-bench-executor/v4";
+
+/// The previous layout, still accepted on parse: v4 is a strict superset
+/// (two new *optional* entry fields), so checked-in v3 baselines keep
+/// gating without regeneration.
+const SCHEMA_V3: &str = "dsf-bench-executor/v3";
 
 /// Wall-clock statistics over the repetitions of one workload, in
 /// nanoseconds.
@@ -92,6 +100,14 @@ pub struct BenchEntry {
     /// run — in bytes ([`crate::alloc_meter`]; `--scale-xl` entries only;
     /// machine-dependent, report-only).
     pub mem_peak_bytes: Option<u64>,
+    /// Chunks claimed outside their home worker's range that held work,
+    /// summed over all workers of one run (sharded scale entries only;
+    /// scheduling-dependent, report-only).
+    pub steals: Option<u64>,
+    /// Worker-rounds that processed at least one chunk over all
+    /// worker-rounds, ×1000 (sharded scale entries only;
+    /// scheduling-dependent, report-only).
+    pub utilization_milli: Option<u64>,
 }
 
 /// A full `bench_runner` report.
@@ -104,7 +120,7 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Serializes to the `dsf-bench-executor/v3` JSON layout.
+    /// Serializes to the `dsf-bench-executor/v4` JSON layout.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
@@ -121,10 +137,18 @@ impl BenchReport {
                 .mem_peak_bytes
                 .map(|v| format!(", \"mem_peak_bytes\": {v}"))
                 .unwrap_or_default();
+            let steals = e
+                .steals
+                .map(|v| format!(", \"steals\": {v}"))
+                .unwrap_or_default();
+            let util = e
+                .utilization_milli
+                .map(|v| format!(", \"utilization_milli\": {v}"))
+                .unwrap_or_default();
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"threads\": {}, \
                  \"rounds\": {}, \"messages\": {}, \"activations\": {}, \"wall_ns\": \
-                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}{speedup}{mem}}}{comma}\n",
+                 {{\"min\": {}, \"mean\": {}, \"max\": {}}}{speedup}{mem}{steals}{util}}}{comma}\n",
                 e.name,
                 e.n,
                 e.m,
@@ -158,8 +182,10 @@ impl BenchReport {
         for line in json.lines() {
             if line.contains("\"schema\"") {
                 let schema = str_field(line, "schema")?;
-                if schema != SCHEMA {
-                    return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+                if schema != SCHEMA && schema != SCHEMA_V3 {
+                    return Err(format!(
+                        "schema {schema:?}, expected {SCHEMA:?} (or {SCHEMA_V3:?})"
+                    ));
                 }
             } else if line.contains("\"mode\"") {
                 mode = Some(str_field(line, "mode")?);
@@ -173,6 +199,16 @@ impl BenchReport {
                 };
                 let mem_peak_bytes = if line.contains("\"mem_peak_bytes\"") {
                     Some(get("mem_peak_bytes")?)
+                } else {
+                    None
+                };
+                let steals = if line.contains("\"steals\"") {
+                    Some(get("steals")?)
+                } else {
+                    None
+                };
+                let utilization_milli = if line.contains("\"utilization_milli\"") {
+                    Some(get("utilization_milli")?)
                 } else {
                     None
                 };
@@ -191,6 +227,8 @@ impl BenchReport {
                     },
                     speedup_milli,
                     mem_peak_bytes,
+                    steals,
+                    utilization_milli,
                 });
             }
         }
@@ -203,11 +241,12 @@ impl BenchReport {
     /// Compares the deterministic metrics against a checked-in baseline.
     ///
     /// Returns one human-readable drift description per mismatch (empty =
-    /// gate passes). Wall-clock, `threads`, `speedup_milli`, and
-    /// `mem_peak_bytes` are intentionally ignored: they are
-    /// machine/configuration facts, and
-    /// the same gate must pass under any `DSF_THREADS` (that invariance
-    /// is itself CI-enforced by running the gate at two thread counts).
+    /// gate passes). Wall-clock, `threads`, `speedup_milli`,
+    /// `mem_peak_bytes`, `steals`, and `utilization_milli` are
+    /// intentionally ignored: they are machine/configuration/scheduling
+    /// facts, and the same gate must pass under any `DSF_THREADS` (that
+    /// invariance is itself CI-enforced by running the gate at two thread
+    /// counts).
     pub fn diff_deterministic(&self, baseline: &BenchReport) -> Vec<String> {
         let mut drifts = Vec::new();
         if self.mode != baseline.mode {
@@ -421,6 +460,8 @@ fn executor_pair(name: &str, g: &WeightedGraph, reps: usize, entries: &mut Vec<B
             wall_ns: t.wall_ns,
             speedup_milli: None,
             mem_peak_bytes: None,
+            steals: None,
+            utilization_milli: None,
         });
     }
 }
@@ -460,6 +501,8 @@ fn solver_entry(
         wall_ns: timed.wall_ns,
         speedup_milli: None,
         mem_peak_bytes: None,
+        steals: None,
+        utilization_milli: None,
     });
 }
 
@@ -625,10 +668,27 @@ pub fn gossip_nodes(g: &WeightedGraph, rounds: u32) -> Vec<GossipNode> {
         .collect()
 }
 
+/// Report-only work-stealing effort summary of one sharded run: total
+/// chunks stolen and the worker utilization (worker-rounds that processed
+/// at least one chunk over all worker-rounds), ×1000. `(None, None)` when
+/// the run carried no per-worker observability (single-threaded engines).
+fn worker_obs(stats: &SchedStats) -> (Option<u64>, Option<u64>) {
+    if stats.workers.is_empty() {
+        return (None, None);
+    }
+    let stolen: u64 = stats.workers.iter().map(|w| w.chunks_stolen).sum();
+    let busy: u64 = stats.workers.iter().map(|w| w.rounds_participated).sum();
+    let idle: u64 = stats.workers.iter().map(|w| w.idle_waits).sum();
+    (Some(stolen), Some(busy * 1000 / (busy + idle).max(1)))
+}
+
 /// One scale workload: the same gossip run through the single-threaded
-/// event engine (`t=1`) and the sharded engine at the remaining thread
-/// counts. Deterministic metrics are asserted identical across all
-/// engines; `speedup_milli` records min-wall `t=1` over min-wall `t=k`.
+/// event engine (`t=1`) and the work-stealing engine at the remaining
+/// thread counts. Deterministic metrics are asserted identical across all
+/// engines; `speedup_milli` records min-wall `t=1` over min-wall `t=k`,
+/// and sharded entries carry the report-only `steals` /
+/// `utilization_milli` effort counters from [`dsf_congest::SchedStats`]'s
+/// per-worker observability.
 fn scale_family(
     name: &str,
     g: &WeightedGraph,
@@ -644,6 +704,7 @@ fn scale_family(
             .map(|r| (r.metrics, r.stats))
     });
     let push = |entries: &mut Vec<BenchEntry>, t: usize, timed: &Timed, speedup: Option<u64>| {
+        let (steals, utilization_milli) = worker_obs(&timed.stats);
         entries.push(BenchEntry {
             name: format!("{name}/t={t}"),
             n: g.n(),
@@ -655,6 +716,8 @@ fn scale_family(
             wall_ns: timed.wall_ns,
             speedup_milli: speedup,
             mem_peak_bytes: None,
+            steals,
+            utilization_milli,
         });
     };
     push(entries, 1, &single, None);
@@ -727,6 +790,22 @@ pub fn collect_scale(quick: bool) -> BenchReport {
         &mut entries,
     );
 
+    // Skewed RMAT power-law instance: a few hub-heavy chunks concentrate
+    // most of the edge volume — the adversarial case for a static
+    // partition and the headline case for work stealing, so this family
+    // is where the steal/utilization counters (and the 8-thread speedup)
+    // carry the most signal.
+    let (rmat_n, rmat_rounds) = if quick { (1 << 14, 8) } else { (1 << 17, 20) };
+    let g = generators::rmat(rmat_n, 2, 100, 17);
+    scale_family(
+        &format!("executor/gossip/rmat/n={rmat_n}"),
+        &g,
+        rmat_rounds,
+        &threads,
+        reps,
+        &mut entries,
+    );
+
     BenchReport {
         mode: if quick { "scale-quick" } else { "scale" }.to_string(),
         entries,
@@ -740,15 +819,18 @@ pub fn collect_scale(quick: bool) -> BenchReport {
 ///
 /// Measured with the compact layout at edge factor 2: the
 /// single-threaded phase peaks around 230 B/node (graph ~85, slot
-/// arenas + frontier ~130, protocol states 16); the t=4 sharded phase
-/// dominates at ~430–450 B/node because it adds its own topology, the
-/// per-shard arenas, and double-buffered cross-shard message queues —
-/// power-law hubs make a large fraction of edges cross shard
-/// boundaries. (See the README "Scale tier" section.) 512 leaves
-/// ~15–20% headroom over the measured peak; a regression that pushes
-/// past it — a struct growing, a byte-per-flag vector returning, an
-/// arena slot losing its niche — fails the harness loudly.
-pub const XL_BYTES_PER_NODE_BUDGET: u64 = 512;
+/// arenas + frontier ~130, protocol states 16); the t=4 work-stealing
+/// phase dominates at ~530 B/node because it adds its own topology, the
+/// per-chunk arenas, and the double-buffered cross-chunk staging matrix
+/// — the chunk grid is finer than the worker count (8 chunks per
+/// worker, so stealing has granularity), and power-law hubs make most
+/// edges cross chunk boundaries, so the staging cells retain roughly
+/// two rounds' worth of cross-chunk message capacity. (See the README
+/// "Scale tier" section.) 640 leaves ~20% headroom over the measured
+/// peak; a regression that pushes past it — a struct growing, a
+/// byte-per-flag vector returning, an arena slot losing its niche —
+/// fails the harness loudly.
+pub const XL_BYTES_PER_NODE_BUDGET: u64 = 640;
 
 /// One `--scale-xl` workload: RMAT power-law gossip through the
 /// single-threaded engine and the 4-way sharded engine, with the
@@ -798,6 +880,7 @@ fn scale_xl_family(
     );
     let speedup = single.wall_ns.min.saturating_mul(1000) / sharded.wall_ns.min.max(1);
     for (t, timed, speedup) in [(1usize, &single, None), (4, &sharded, Some(speedup))] {
+        let (steals, utilization_milli) = worker_obs(&timed.stats);
         entries.push(BenchEntry {
             name: format!("executor/gossip/power_law/n={n}/t={t}"),
             n,
@@ -809,6 +892,8 @@ fn scale_xl_family(
             wall_ns: timed.wall_ns,
             speedup_milli: speedup,
             mem_peak_bytes: Some(peak),
+            steals,
+            utilization_milli,
         });
     }
 }
@@ -857,6 +942,8 @@ mod tests {
                     },
                     speedup_milli: None,
                     mem_peak_bytes: None,
+                    steals: None,
+                    utilization_milli: None,
                 },
                 BenchEntry {
                     name: "solver/y".into(),
@@ -873,6 +960,8 @@ mod tests {
                     },
                     speedup_milli: Some(2750),
                     mem_peak_bytes: Some(123_456_789),
+                    steals: Some(17),
+                    utilization_milli: Some(850),
                 },
             ],
         }
@@ -883,6 +972,24 @@ mod tests {
         let r = sample();
         let parsed = BenchReport::parse(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn v3_baselines_still_parse_and_gate() {
+        // The checked-in quick baseline predates the v4 fields; the
+        // reader must accept its schema line (v4 only adds optionals) and
+        // an unknown/future schema must still be rejected.
+        let mut r = sample();
+        for e in &mut r.entries {
+            e.steals = None;
+            e.utilization_milli = None;
+        }
+        let v3 = r.to_json().replacen(SCHEMA, SCHEMA_V3, 1);
+        let parsed = BenchReport::parse(&v3).unwrap();
+        assert_eq!(parsed, r);
+        assert!(sample().diff_deterministic(&parsed).is_empty());
+        let v9 = r.to_json().replacen(SCHEMA, "dsf-bench-executor/v9", 1);
+        assert!(BenchReport::parse(&v9).is_err());
     }
 
     #[test]
@@ -932,9 +1039,11 @@ mod tests {
         let base = sample();
         let mut cur = sample();
         assert!(cur.diff_deterministic(&base).is_empty());
-        // Wall-clock and memory changes never gate.
+        // Wall-clock, memory, and scheduling-effort changes never gate.
         cur.entries[0].wall_ns.mean = 999_999;
         cur.entries[1].mem_peak_bytes = Some(1);
+        cur.entries[1].steals = Some(999);
+        cur.entries[1].utilization_milli = None;
         assert!(cur.diff_deterministic(&base).is_empty());
         // Metric drift does.
         cur.entries[0].rounds += 1;

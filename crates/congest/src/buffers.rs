@@ -12,25 +12,31 @@
 //! giving the same double buffering as the old inbox/pending pair without
 //! touching the allocator.
 //!
-//! # Sharding
+//! # Segmenting
 //!
-//! All run state lives in [`ShardState`], a value covering a contiguous
-//! node range `[node_lo, node_hi)` and, with it, the contiguous slot range
-//! `[off[node_lo], off[node_hi])`. Because `off` is monotone in the node
-//! id, a partition of the nodes into contiguous ranges partitions the slot
-//! arena into disjoint contiguous segments — each shard owns
+//! All mutable run state lives in [`SegmentState`], a value covering a
+//! contiguous node range `[node_lo, node_hi)` and, with it, the
+//! contiguous slot range `[off[node_lo], off[node_hi])`. Because `off` is
+//! monotone in the node id, a partition of the nodes into contiguous
+//! ranges partitions the slot arena into disjoint contiguous segments —
+//! each segment owns
 //!
 //! * its nodes' *receiver-side* slots (`cur`/`next` arena segments),
 //! * its nodes' *sender-side* duplicate-send marks (`sent_mark`, indexed
 //!   by the sender's own adjacency slots, which live in the same range),
 //! * the active-set worklists and termination votes of its nodes.
 //!
-//! The single-threaded scheduler ([`crate::run`]) uses one shard covering
-//! the whole graph; [`crate::run_sharded`] gives each worker thread its
-//! own shard and routes the (validated, metered) cross-shard messages
-//! through per-worker queues merged deterministically by the owner (see
-//! `crate::shard`). Nothing in this module takes a lock: disjointness is
-//! by construction.
+//! The immutable inputs ([`CsrTopology`], the graph, the config, the
+//! partition bounds) are bundled read-only in [`EngineCtx`] and shared by
+//! every worker; only `SegmentState` is ever written during a round.
+//!
+//! The single-threaded scheduler ([`crate::run`]) uses one segment
+//! covering the whole graph; the work-stealing engine
+//! ([`crate::run_sharded`]) partitions the arena into many chunk-sized
+//! segments that idle workers claim and steal, staging the (validated,
+//! metered) cross-chunk messages per `(destination, source)` chunk pair
+//! for a post-hoc canonical-order merge (see `crate::shard`). Nothing in
+//! this module takes a lock: segment disjointness is by construction.
 //!
 //! A [`RunBuffers`] value is reusable: repeated runs on the same graph
 //! (bench loops, multi-seed experiments) allocate zero steady-state
@@ -118,12 +124,15 @@ impl CsrTopology {
         }
     }
 
-    /// Contiguous, slot-balanced shard boundaries: `bounds.len() ==
+    /// Contiguous, slot-balanced partition boundaries: `bounds.len() ==
     /// shards' + 1` with `bounds[0] == 0` and `bounds[last] == n`, where
     /// `shards' = min(shards, max(n, 1))`. Boundaries are placed so each
-    /// shard owns roughly `total_slots / shards` directed-edge slots
-    /// (degree-weighted load balance), while every shard keeps at least
-    /// one node. Deterministic in the topology alone.
+    /// part owns roughly `total_slots / shards` directed-edge slots
+    /// (degree-weighted load balance), while every part keeps at least
+    /// one node. Deterministic in the topology alone — the work-stealing
+    /// engine uses this for its chunk grid, so the chunk layout (and with
+    /// it every per-chunk frontier) is a pure function of the topology
+    /// and the chunk count.
     pub(crate) fn shard_bounds(&self, shards: usize) -> Vec<u32> {
         let n = self.n;
         let t = shards.clamp(1, n.max(1));
@@ -148,16 +157,16 @@ impl CsrTopology {
     }
 }
 
-/// Shard index owning node `v` under the boundary vector produced by
+/// Chunk index owning node `v` under the boundary vector produced by
 /// [`CsrTopology::shard_bounds`].
 pub(crate) fn shard_of(bounds: &[u32], v: u32) -> usize {
     bounds.partition_point(|&b| b <= v) - 1
 }
 
-/// A validated, metered message crossing a shard boundary: the sender's
+/// A validated, metered message crossing a chunk boundary: the sender's
 /// worker already charged it against the bandwidth budget and resolved
-/// its receiver-side `slot`; the owner of the receiving shard writes it
-/// into its `next` arena during the merge phase.
+/// its receiver-side `slot`; whichever worker claims the receiving chunk
+/// next round writes it into that chunk's arena during the staged merge.
 #[derive(Debug)]
 pub(crate) struct RemoteMsg<M> {
     /// Global receiver-side slot (unique per directed edge).
@@ -168,24 +177,26 @@ pub(crate) struct RemoteMsg<M> {
     pub(crate) msg: M,
 }
 
-/// Read-only inputs threaded through every engine step.
+/// The immutable per-round view: read-only inputs threaded through every
+/// engine step and shared by all workers. Everything mutable lives in
+/// [`SegmentState`].
 #[derive(Clone, Copy)]
 pub(crate) struct EngineCtx<'a> {
     pub(crate) g: &'a WeightedGraph,
     pub(crate) topo: &'a CsrTopology,
     pub(crate) cfg: &'a CongestConfig,
-    /// Shard boundaries of the active partition (`[0, n]` when single).
+    /// Chunk boundaries of the active partition (`[0, n]` when single).
     pub(crate) bounds: &'a [u32],
 }
 
-/// All mutable run state of one shard: a contiguous node range, its slice
-/// of the double-buffered slot arena, its active-set worklists, duplicate
-/// marks, termination votes, and its partial metrics. The single-threaded
-/// scheduler uses one value covering the whole graph; the sharded engine
-/// gives each worker its own. See the module docs for the disjointness
-/// argument.
+/// All mutable run state of one arena segment: a contiguous node range,
+/// its slice of the double-buffered slot arena, its active-set worklists,
+/// duplicate marks, termination votes, and its partial metrics. The
+/// single-threaded scheduler uses one value covering the whole graph; the
+/// work-stealing engine uses one per chunk, claimed by whichever worker
+/// gets there first. See the module docs for the disjointness argument.
 #[derive(Debug)]
-pub(crate) struct ShardState<M> {
+pub(crate) struct SegmentState<M> {
     /// First owned node id.
     pub(crate) node_lo: u32,
     /// One past the last owned node id.
@@ -206,20 +217,24 @@ pub(crate) struct ShardState<M> {
     pub(crate) active_mark: BitSet,
     /// Cached termination votes (local indices), bit-packed.
     /// `Protocol::done` takes `&self`, so a vote can only change when the
-    /// node is invoked — and nodes are only ever invoked by their owning
-    /// shard, so caching stays sound under sharding.
+    /// node is invoked — and a node is only ever invoked by the single
+    /// worker that claimed its chunk this round, so caching stays sound
+    /// under work stealing.
     pub(crate) done: BitSet,
     /// Epoch-stamped *sender-side* duplicate-send marks, one per owned
     /// adjacency slot (`off[u] + j` for owned sender `u`). Marking the
     /// sender's own slot instead of the receiver's id keeps the check
-    /// O(1) *and* shard-local — the receiver may live in another shard.
+    /// O(1) *and* segment-local — the receiver may live in another chunk.
     /// `u32` halves the array; the epoch wraps by re-zeroing the marks.
     pub(crate) sent_mark: Vec<u32>,
     pub(crate) sent_epoch: u32,
     /// Adjacency positions resolved during the duplicate pass, reused by
     /// the metering pass (`u32::MAX` = not a neighbor).
     pub(crate) adj_pos: Vec<u32>,
-    /// Messages committed into this shard's `next` arena this round.
+    /// Messages this segment's nodes committed this round — same-chunk
+    /// deliveries *and* staged cross-chunk sends, counted at send time so
+    /// the termination decision sees every in-flight message even before
+    /// the staged ones are merged.
     pub(crate) in_flight: u64,
     /// Owned nodes currently voting not-done.
     pub(crate) not_done: usize,
@@ -227,18 +242,18 @@ pub(crate) struct ShardState<M> {
     pub(crate) inbox: Vec<(NodeId, M)>,
     /// Recycled outbox storage.
     pub(crate) out_storage: Vec<(NodeId, M)>,
-    /// Partial model metrics (summed across shards at the end of a run).
+    /// Partial model metrics (summed across segments at the end of a run).
     pub(crate) metrics: RunMetrics,
     /// Partial scheduler work counters.
     pub(crate) stats: SchedStats,
 }
 
-impl<M: Message> ShardState<M> {
+impl<M: Message> SegmentState<M> {
     /// Fresh state for the owned node range `[node_lo, node_hi)`.
     pub(crate) fn new(topo: &CsrTopology, node_lo: u32, node_hi: u32) -> Self {
         let slot_lo = topo.off[node_lo as usize];
         let slots = (topo.off[node_hi as usize] - slot_lo) as usize;
-        let mut shard = ShardState {
+        let mut seg = SegmentState {
             node_lo,
             node_hi,
             slot_lo,
@@ -257,8 +272,8 @@ impl<M: Message> ShardState<M> {
             metrics: RunMetrics::default(),
             stats: SchedStats::default(),
         };
-        shard.reset();
-        shard
+        seg.reset();
+        seg
     }
 
     /// Clears all transient run state in place (an aborted run may leave
@@ -327,21 +342,24 @@ impl<M: Message> ShardState<M> {
         }
     }
 
-    /// Writes a merged cross-shard message into the `next` arena and
-    /// schedules its receiver. The sender's worker already validated and
-    /// metered it.
+    /// Writes one staged cross-chunk message into the pre-promotion
+    /// `next` arena and schedules its receiver. The sender's worker
+    /// already validated, metered, and counted it (see `in_flight`), so
+    /// delivery is pure slot placement plus scheduling.
     pub(crate) fn deliver_remote(&mut self, m: RemoteMsg<M>) {
         let li = (m.slot - self.slot_lo) as usize;
         debug_assert!(self.next[li].is_none(), "slot double write");
         self.next[li] = Some(m.msg);
-        self.in_flight += 1;
         self.schedule(m.to);
     }
 
     /// Validates and meters one owned node's outgoing messages, writing
-    /// same-shard deliveries into the local `next` slots and queueing
-    /// cross-shard deliveries on `outbound` (indexed by destination
-    /// shard; never touched when the shard covers the whole graph).
+    /// same-chunk deliveries into the local `next` slots and queueing
+    /// cross-chunk deliveries on `outbound` (indexed by destination
+    /// chunk; never touched when the segment covers the whole graph).
+    /// Every committed message — local or queued — counts toward
+    /// `in_flight` at send time, so the round's termination decision is
+    /// complete before any staged message is merged.
     ///
     /// Error precedence matches the reference executor: a duplicate send
     /// anywhere in the outbox beats per-message violations, which are
@@ -418,11 +436,11 @@ impl<M: Message> ShardState<M> {
                 self.metrics.cut_bits += bits as u64;
             }
             let slot = ectx.topo.mate[(base + j) as usize];
+            self.in_flight += 1;
             if (self.slot_lo..slot_hi).contains(&slot) {
                 let li = (slot - self.slot_lo) as usize;
                 debug_assert!(self.next[li].is_none(), "slot double write");
                 self.next[li] = Some(msg);
-                self.in_flight += 1;
                 self.schedule(to.0);
             } else {
                 outbound[shard_of(ectx.bounds, to.0)].push(RemoteMsg {
@@ -437,7 +455,7 @@ impl<M: Message> ShardState<M> {
 }
 
 /// Reusable state of the single-threaded event-driven executor: one
-/// shard-state partition covering the whole graph plus the CSR topology.
+/// arena segment covering the whole graph plus the CSR topology.
 ///
 /// Create once with [`RunBuffers::for_graph`] and pass to
 /// [`crate::run_with_buffers`] for allocation-free repeated runs:
@@ -475,15 +493,15 @@ impl<M: Message> ShardState<M> {
 #[derive(Debug)]
 pub struct RunBuffers<M> {
     pub(crate) topo: CsrTopology,
-    pub(crate) shard: ShardState<M>,
+    pub(crate) seg: SegmentState<M>,
 }
 
 impl<M: Message> RunBuffers<M> {
     /// Allocates buffers sized for `g`.
     pub fn for_graph(g: &WeightedGraph) -> Self {
         let topo = CsrTopology::build(g);
-        let shard = ShardState::new(&topo, 0, topo.n as u32);
-        RunBuffers { topo, shard }
+        let seg = SegmentState::new(&topo, 0, topo.n as u32);
+        RunBuffers { topo, seg }
     }
 
     /// Prepares the buffers for a run on `g` and reports whether they were
@@ -500,10 +518,10 @@ impl<M: Message> RunBuffers<M> {
     pub fn reset_for(&mut self, g: &WeightedGraph) -> bool {
         if self.topo.fingerprint != CsrTopology::fingerprint_of(g) {
             self.topo = CsrTopology::build(g);
-            self.shard = ShardState::new(&self.topo, 0, self.topo.n as u32);
+            self.seg = SegmentState::new(&self.topo, 0, self.topo.n as u32);
             false
         } else {
-            self.shard.reset();
+            self.seg.reset();
             true
         }
     }

@@ -95,6 +95,16 @@ impl SlidingQueue {
         self.buf[i]
     }
 
+    /// Whether no nodes are queued behind the executing window. The
+    /// work-stealing engine uses this as the per-chunk idleness test: a
+    /// chunk with an empty tail and no staged arrivals has nothing to do
+    /// this round and is skipped without sliding (the stale window is
+    /// retired by the next slide whenever the chunk reactivates).
+    #[inline]
+    pub(crate) fn tail_is_empty(&self) -> bool {
+        self.buf.len() == self.window
+    }
+
     /// Retires the executed window, promotes the tail to the new window,
     /// and sorts it into ascending node-id order. Returns the new window
     /// as a slice (for unmarking membership bits).
@@ -158,6 +168,20 @@ mod tests {
         assert_eq!(q.window_len(), 2);
         assert_eq!(q.slide(), &[] as &[u32]);
         assert_eq!(q.window_len(), 0);
+    }
+
+    #[test]
+    fn sliding_queue_tail_emptiness_tracks_pushes_and_slides() {
+        let mut q = SlidingQueue::default();
+        assert!(q.tail_is_empty());
+        q.push(4);
+        assert!(!q.tail_is_empty());
+        q.slide();
+        assert!(q.tail_is_empty(), "the window does not count as tail");
+        q.push(9);
+        assert!(!q.tail_is_empty());
+        q.clear();
+        assert!(q.tail_is_empty());
     }
 
     #[test]

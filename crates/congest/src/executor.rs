@@ -304,7 +304,18 @@ pub struct RunMetrics {
 /// *executor's* effort, not the protocol's model cost, so they differ
 /// between [`crate::run`] and [`run_reference`] on the same workload —
 /// that difference is the point (see `bench_runner`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The struct carries two kinds of fields with different contracts:
+///
+/// * **deterministic** (`activations`, `wakeups`) — per-node facts that
+///   are bit-identical at every thread count; these and only these
+///   participate in `==` (the manual [`PartialEq`] below), so the
+///   cross-executor equivalence asserts stay meaningful;
+/// * **report-only** (`workers`) — wall-clock-dependent scheduling
+///   telemetry from the work-stealing engine that legitimately varies
+///   from run to run and is excluded from equality. Consumers that
+///   persist stats (the bench schema) must keep the same separation.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct SchedStats {
     /// Number of [`Protocol::round`] invocations (`init` excluded).
     pub activations: u64,
@@ -312,6 +323,38 @@ pub struct SchedStats {
     /// delivery. Only tracked by the event-driven executor; 0 under
     /// [`run_reference`].
     pub wakeups: u64,
+    /// Report-only per-worker effort counters, indexed by worker id.
+    /// Empty for single-threaded runs; length = thread count under
+    /// [`crate::run_sharded`]. **Not** part of `==`.
+    pub workers: Vec<WorkerObs>,
+}
+
+impl PartialEq for SchedStats {
+    /// Deterministic fields only: two runs compare equal when their
+    /// scheduler did the same *observable* work, regardless of how the
+    /// work-stealing engine happened to distribute it across workers.
+    fn eq(&self, other: &Self) -> bool {
+        self.activations == other.activations && self.wakeups == other.wakeups
+    }
+}
+
+/// Report-only effort counters of one worker thread in a
+/// [`crate::run_sharded`] run. All fields depend on OS scheduling and
+/// steal timing — they describe load balance, never outcomes, and are
+/// deliberately excluded from [`SchedStats`] equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerObs {
+    /// Rounds in which this worker processed at least one chunk with work.
+    pub rounds_participated: u64,
+    /// Active-set slots (node invocations, `init` included) this worker
+    /// executed.
+    pub slots_processed: u64,
+    /// Chunks this worker claimed from another worker's home range and
+    /// found work in.
+    pub chunks_stolen: u64,
+    /// Rounds this worker reached the barrier without having processed
+    /// any chunk with work.
+    pub idle_waits: u64,
 }
 
 /// Outcome of a run: final per-node states plus metrics.

@@ -36,10 +36,15 @@
 //! checks out its arena from the pool instead of allocating, which is how
 //! `dsf-service` solver sessions make steady-state solves allocation-free
 //! end to end. [`run_sharded`] is the multi-threaded variant: the node
-//! arena is partitioned into per-worker shards and every round runs as
-//! compute phase → barrier → deterministic merge phase, with *bit
-//! identical* [`RunMetrics`], final states, and errors at every thread
-//! count (see the [`shard`](crate::run_sharded) docs for the argument).
+//! arena is partitioned into chunk-sized segments that workers claim and
+//! *steal* through atomic cursors; each round is claim/compute phases
+//! fused around a **single** barrier, with cross-chunk messages staged
+//! per `(destination, source)` chunk pair and merged post hoc in
+//! canonical sender order — *bit identical* [`RunMetrics`], final
+//! states, deterministic [`SchedStats`], and errors at every thread
+//! count (see the [`run_sharded`] docs for the argument; report-only
+//! per-worker effort counters are exposed as [`SchedStats::workers`] and
+//! process-wide via [`sched_obs_totals`]).
 //! [`run`] itself dispatches on [`default_threads`] (the `DSF_THREADS`
 //! environment variable, overridable via [`set_default_threads`]), so the
 //! whole solver stack parallelizes without a code change — and without an
@@ -94,10 +99,13 @@ mod shard;
 pub use buffers::RunBuffers;
 pub use executor::{
     run_reference, CongestConfig, NodeCtx, Outbox, Protocol, RunMetrics, RunResult, SchedStats,
-    SimError,
+    SimError, WorkerObs,
 };
 pub use ledger::{LedgerEntry, RoundLedger};
 pub use message::{id_bits, weight_bits, Message};
 pub use pool::{BufferPool, PoolStats};
 pub use scheduler::{run, run_with_buffers};
-pub use shard::{default_threads, run_sharded, set_default_threads, with_threads};
+pub use shard::{
+    default_threads, run_sharded, sched_obs_totals, set_default_threads, with_threads,
+    SchedObsTotals,
+};

@@ -22,13 +22,13 @@
 //! the reference executor (which skips nothing) flushes such bugs out.
 //!
 //! The per-node steps ([`invoke_init`], [`invoke_round`]) are shared with
-//! the multi-threaded engine in [`crate::shard`]: both operate on
-//! [`ShardState`] partitions, this module simply using a single shard
-//! covering the whole graph.
+//! the work-stealing engine in [`crate::shard`]: both operate on
+//! [`SegmentState`] partitions, this module simply using a single segment
+//! covering the whole graph while the sharded engine uses one per chunk.
 
 use dsf_graph::{NodeId, WeightedGraph};
 
-use crate::buffers::{check_arena_capacity, EngineCtx, RemoteMsg, RunBuffers, ShardState};
+use crate::buffers::{check_arena_capacity, EngineCtx, RemoteMsg, RunBuffers, SegmentState};
 use crate::executor::{CongestConfig, NodeCtx, Outbox, Protocol, RunResult, SimError};
 use crate::pool;
 use crate::shard::{default_threads, run_sharded};
@@ -126,7 +126,7 @@ pub fn run_with_buffers<P: Protocol>(
     }
     check_arena_capacity(n, g.m())?;
     buf.reset_for(g);
-    let RunBuffers { topo, shard } = buf;
+    let RunBuffers { topo, seg } = buf;
     let bounds = [0u32, n as u32];
     let ectx = EngineCtx {
         g,
@@ -135,13 +135,13 @@ pub fn run_with_buffers<P: Protocol>(
         bounds: &bounds,
     };
 
-    // Round 0: init every node; with a single shard no message can be
-    // cross-shard, so the outbound queues stay untouched.
-    invoke_init(&ectx, shard, &mut nodes, &mut [])?;
+    // Round 0: init every node; with a single segment no message can be
+    // cross-chunk, so the outbound queues stay untouched.
+    invoke_init(&ectx, seg, &mut nodes, &mut [])?;
 
     let mut round = 0u64;
     loop {
-        if shard.in_flight == 0 && shard.not_done == 0 {
+        if seg.in_flight == 0 && seg.not_done == 0 {
             break;
         }
         round += 1;
@@ -150,95 +150,95 @@ pub fn run_with_buffers<P: Protocol>(
                 limit: cfg.max_rounds,
             });
         }
-        shard.promote();
-        invoke_round(&ectx, round, shard, &mut nodes, &mut [])?;
-        shard.metrics.rounds = round;
+        seg.promote();
+        invoke_round(&ectx, round, seg, &mut nodes, &mut [])?;
+        seg.metrics.rounds = round;
     }
 
     Ok(RunResult {
         states: nodes,
-        metrics: std::mem::take(&mut shard.metrics),
-        stats: std::mem::take(&mut shard.stats),
+        metrics: std::mem::take(&mut seg.metrics),
+        stats: std::mem::take(&mut seg.stats),
     })
 }
 
-/// Round 0 over one shard: initializes every owned node, commits its
+/// Round 0 over one segment: initializes every owned node, commits its
 /// messages, and records the first termination votes. `nodes` is the
-/// shard-local slice (`nodes[v - node_lo]` is node `v`).
+/// segment-local slice (`nodes[v - node_lo]` is node `v`).
 ///
 /// # Errors
 ///
-/// Returns the violation of the lowest-id erroring node in this shard;
+/// Returns the violation of the lowest-id erroring node in this segment;
 /// nodes after it are not invoked (matching the sequential order).
 pub(crate) fn invoke_init<P: Protocol>(
     ectx: &EngineCtx<'_>,
-    shard: &mut ShardState<P::Msg>,
+    seg: &mut SegmentState<P::Msg>,
     nodes: &mut [P],
     outbound: &mut [Vec<RemoteMsg<P::Msg>>],
 ) -> Result<(), SimError> {
     let n = ectx.g.n();
-    for v in shard.node_lo..shard.node_hi {
-        let li = shard.local(v);
+    for v in seg.node_lo..seg.node_hi {
+        let li = seg.local(v);
         let ctx = NodeCtx::new(NodeId(v), n, 0, ectx.g);
-        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut shard.out_storage));
+        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut seg.out_storage));
         nodes[li].init(&ctx, &mut out);
-        let res = shard.commit(ectx, 0, &mut out, outbound);
-        shard.out_storage = out.into_storage();
+        let res = seg.commit(ectx, 0, &mut out, outbound);
+        seg.out_storage = out.into_storage();
         res?;
         let vote = nodes[li].done();
-        shard.done.assign(li, vote);
+        seg.done.assign(li, vote);
         if !vote {
-            shard.not_done += 1;
-            shard.schedule(v);
+            seg.not_done += 1;
+            seg.schedule(v);
         }
     }
     Ok(())
 }
 
-/// One round over one shard: invokes the promoted active set in ascending
-/// node-id order, gathering each inbox from the slot arena and committing
-/// each outbox. `nodes` is the shard-local slice.
+/// One round over one segment: invokes the promoted active set in
+/// ascending node-id order, gathering each inbox from the slot arena and
+/// committing each outbox. `nodes` is the segment-local slice.
 ///
 /// # Errors
 ///
-/// Returns the violation of the lowest-id erroring node in this shard;
+/// Returns the violation of the lowest-id erroring node in this segment;
 /// active nodes after it are not invoked (matching the sequential order).
 pub(crate) fn invoke_round<P: Protocol>(
     ectx: &EngineCtx<'_>,
     round: u64,
-    shard: &mut ShardState<P::Msg>,
+    seg: &mut SegmentState<P::Msg>,
     nodes: &mut [P],
     outbound: &mut [Vec<RemoteMsg<P::Msg>>],
 ) -> Result<(), SimError> {
     let n = ectx.g.n();
     // Index-based iteration: the frontier's window bounds are fixed for
     // the whole round while commits push next-round work onto its tail.
-    for i in 0..shard.frontier.window_len() {
-        let v = shard.frontier.at(i);
-        let li = shard.local(v);
+    for i in 0..seg.frontier.window_len() {
+        let v = seg.frontier.at(i);
+        let li = seg.local(v);
         let ctx = NodeCtx::new(NodeId(v), n, round, ectx.g);
-        shard.gather_inbox(ectx.g, ectx.topo, v);
-        let was_done = shard.done.get(li);
-        if was_done && !shard.inbox.is_empty() {
-            shard.stats.wakeups += 1;
+        seg.gather_inbox(ectx.g, ectx.topo, v);
+        let was_done = seg.done.get(li);
+        if was_done && !seg.inbox.is_empty() {
+            seg.stats.wakeups += 1;
         }
-        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut shard.out_storage));
-        nodes[li].round(&ctx, &shard.inbox, &mut out);
-        shard.stats.activations += 1;
-        let res = shard.commit(ectx, round, &mut out, outbound);
-        shard.out_storage = out.into_storage();
+        let mut out = Outbox::recycled(ctx.id, std::mem::take(&mut seg.out_storage));
+        nodes[li].round(&ctx, &seg.inbox, &mut out);
+        seg.stats.activations += 1;
+        let res = seg.commit(ectx, round, &mut out, outbound);
+        seg.out_storage = out.into_storage();
         res?;
         let vote = nodes[li].done();
         if vote != was_done {
-            shard.done.assign(li, vote);
+            seg.done.assign(li, vote);
             if vote {
-                shard.not_done -= 1;
+                seg.not_done -= 1;
             } else {
-                shard.not_done += 1;
+                seg.not_done += 1;
             }
         }
         if !vote {
-            shard.schedule(v);
+            seg.schedule(v);
         }
     }
     Ok(())

@@ -98,8 +98,15 @@ impl Protocol for HopNode {
     }
 }
 
-/// Fresh nodes with `tokens` tokens scattered pseudorandomly from `seed`.
-fn hop_nodes(g: &WeightedGraph, seed: u64, tokens: usize, ttl: u32) -> Vec<HopNode> {
+/// Fresh nodes with `tokens` tokens scattered pseudorandomly from `seed`
+/// over the node-id range `[0, span)`.
+fn hop_nodes_in(
+    g: &WeightedGraph,
+    seed: u64,
+    tokens: usize,
+    ttl: u32,
+    span: usize,
+) -> Vec<HopNode> {
     let mut nodes: Vec<HopNode> = g
         .nodes()
         .map(|v| HopNode {
@@ -112,13 +119,18 @@ fn hop_nodes(g: &WeightedGraph, seed: u64, tokens: usize, ttl: u32) -> Vec<HopNo
     let mut s = seed;
     for _ in 0..tokens {
         s = splitmix(s);
-        let holder = (s % g.n() as u64) as usize;
+        let holder = (s % span as u64) as usize;
         nodes[holder].initial.push(Token {
             ttl,
             tag: splitmix(s ^ 0xdead_beef),
         });
     }
     nodes
+}
+
+/// Fresh nodes with `tokens` tokens scattered pseudorandomly from `seed`.
+fn hop_nodes(g: &WeightedGraph, seed: u64, tokens: usize, ttl: u32) -> Vec<HopNode> {
+    hop_nodes_in(g, seed, tokens, ttl, g.n())
 }
 
 proptest! {
@@ -164,6 +176,60 @@ proptest! {
             prop_assert_eq!(&sh.states, &rf.states, "threads {}", threads);
             // The active sets are layout-independent, so the sharded
             // engine performs exactly the event engine's invocations.
+            prop_assert_eq!(sh.stats, ev.stats, "threads {}", threads);
+        }
+    }
+
+    /// Adversarial skew for the work-stealing engine: every initial token
+    /// lives in the first n/8 node ids, so all round-0 activity lands in
+    /// one worker's home chunks and the rest of the matrix only has work
+    /// to *steal*. Equivalence must survive the maximally unbalanced
+    /// claim order.
+    #[test]
+    fn skewed_single_chunk_activity_matches_reference(
+        seed in 0u64..100_000,
+        n in 16usize..64,
+        p in 0.1f64..0.4,
+        tokens in 1usize..12,
+        ttl in 0u32..40,
+    ) {
+        let g = generators::gnp_connected(n, p, 9, seed);
+        let cfg = CongestConfig::for_graph(&g);
+        let span = (n / 8).max(1);
+        let rf = run_reference(&g, hop_nodes_in(&g, seed, tokens, ttl, span), &cfg).unwrap();
+        let ev = run(&g, hop_nodes_in(&g, seed, tokens, ttl, span), &cfg).unwrap();
+        for threads in THREAD_MATRIX {
+            let sh =
+                run_sharded(&g, hop_nodes_in(&g, seed, tokens, ttl, span), &cfg, threads).unwrap();
+            prop_assert_eq!(&sh.metrics, &rf.metrics, "threads {}", threads);
+            prop_assert_eq!(&sh.states, &rf.states, "threads {}", threads);
+            prop_assert_eq!(sh.stats, ev.stats, "threads {}", threads);
+        }
+    }
+
+    /// Hub-and-spoke wave: on a star every token bounces through the
+    /// center, so the hub's chunk is hot every round while spoke chunks
+    /// wake only for their own deliveries — the steady-state skew case
+    /// (vs the round-0 skew above). The canonical post-hoc merge must
+    /// keep the hub's fan-in in ascending sender order at every thread
+    /// count.
+    #[test]
+    fn hub_and_spoke_wave_matches_reference(
+        seed in 0u64..100_000,
+        n in 8usize..64,
+        tokens in 1usize..10,
+        ttl in 1u32..48,
+    ) {
+        let g = generators::star(n, 9, seed);
+        let cfg = CongestConfig::for_graph(&g);
+        // All tokens start at the hub (node 0).
+        let rf = run_reference(&g, hop_nodes_in(&g, seed, tokens, ttl, 1), &cfg).unwrap();
+        let ev = run(&g, hop_nodes_in(&g, seed, tokens, ttl, 1), &cfg).unwrap();
+        for threads in THREAD_MATRIX {
+            let sh =
+                run_sharded(&g, hop_nodes_in(&g, seed, tokens, ttl, 1), &cfg, threads).unwrap();
+            prop_assert_eq!(&sh.metrics, &rf.metrics, "threads {}", threads);
+            prop_assert_eq!(&sh.states, &rf.states, "threads {}", threads);
             prop_assert_eq!(sh.stats, ev.stats, "threads {}", threads);
         }
     }

@@ -11,7 +11,7 @@ forgot a consumer) fails the pipeline instead of uploading garbage.
 For each file it checks:
   * the document parses as JSON and is an object;
   * `schema` matches the expected identifier for the tier (inferred from
-    the file name, e.g. BENCH_executor.json -> dsf-bench-executor/v3;
+    the file name, e.g. BENCH_executor.json -> dsf-bench-executor/v4;
     BENCH_scale.json is the executor schema too);
   * `mode` is a non-empty string and `entries` a non-empty list;
   * every entry carries the tier's required fields with the right types
@@ -37,7 +37,7 @@ from pathlib import Path
 WALL = {"min": int, "mean": int, "max": int}
 TIERS = {
     "executor": (
-        "dsf-bench-executor/v3",
+        "dsf-bench-executor/v4",
         {
             "name": str,
             "n": int,
@@ -48,7 +48,12 @@ TIERS = {
             "activations": int,
             "wall_ns": WALL,
         },
-        {"speedup_milli": int, "mem_peak_bytes": int},
+        {
+            "speedup_milli": int,
+            "mem_peak_bytes": int,
+            "steals": int,
+            "utilization_milli": int,
+        },
     ),
     "conformance": (
         "dsf-bench-conformance/v2",
