@@ -7,6 +7,7 @@
 //! bench_runner --conformance [--quick] [--out PATH]        # conformance mode
 //! bench_runner --service [--quick] [--out PATH]            # service mode
 //! bench_runner --server [--quick] [--out PATH]             # server mode
+//! bench_runner --churn [--quick] [--out PATH]              # churn mode
 //! ```
 //!
 //! **Executor mode** (default) times the execution engines and solvers and
@@ -62,10 +63,22 @@
 //! and warm sessions allocate no arenas. Like scale mode there is no
 //! baseline (`--check` is rejected) — wall-clock is the product.
 //!
+//! **Churn mode** (`--churn`) replays the seeded arrival/departure/
+//! reweight traces (`dsf_workloads::churn`) through the solver service's
+//! delta API and writes `BENCH_churn.json` (repair-vs-scratch speedup,
+//! moves per delta, deterministic anchor rounds/messages). In-harness
+//! gates: every repaired forest passes the churn-differential oracle
+//! (feasible, within the certified ratio bound, no heavier than a
+//! from-scratch `greedy + local_search` solve), the replay is
+//! bit-identical across worker-thread counts 1 and 4, and the repair is
+//! at least 2× faster than scratch on a strict majority of steps. No
+//! baseline (`--check` is rejected).
+//!
 //! Unknown flags are rejected with a usage message (exit code 2).
 
 use std::process::ExitCode;
 
+use dsf_bench::churn;
 use dsf_bench::conformance;
 use dsf_bench::perf::{self, BenchReport};
 use dsf_bench::server;
@@ -78,6 +91,7 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
        bench_runner --conformance [--quick] [--out PATH]
        bench_runner --service [--quick] [--out PATH]
        bench_runner --server [--quick] [--out PATH]
+       bench_runner --churn [--quick] [--out PATH]
 
   --quick        CI smoke sizes (quick corpus tier in conformance mode,
                  shrunken graphs in scale mode)
@@ -99,7 +113,10 @@ usage: bench_runner [--quick] [--out PATH] [--check BASELINE]
                  batching-determinism and zero-allocation asserts)
   --server       run the streaming-server tier (open-loop load at x0.5/x1/x2
                  of measured capacity, p50/p99 latency, with in-harness
-                 admission-control and bit-identity asserts)";
+                 admission-control and bit-identity asserts)
+  --churn        run the incremental re-solve tier (delta repairs replayed
+                 over seeded churn traces, with in-harness repair-quality,
+                 thread-count bit-identity, and majority-2x-speedup gates)";
 
 struct Args {
     quick: bool,
@@ -108,6 +125,7 @@ struct Args {
     conformance: bool,
     service: bool,
     server: bool,
+    churn: bool,
     out: Option<String>,
     check: Option<String>,
 }
@@ -125,6 +143,7 @@ fn parse(raw: &[String]) -> Result<Args, String> {
         conformance: false,
         service: false,
         server: false,
+        churn: false,
         out: None,
         check: None,
     };
@@ -145,12 +164,18 @@ fn parse(raw: &[String]) -> Result<Args, String> {
             "--conformance" => args.conformance = true,
             "--service" => args.service = true,
             "--server" => args.server = true,
+            "--churn" => args.churn = true,
             "--out" => args.out = Some(path_value("--out", it.next())?),
             "--check" => args.check = Some(path_value("--check", it.next())?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if (args.conformance || args.scale || args.scale_xl || args.service || args.server)
+    if (args.conformance
+        || args.scale
+        || args.scale_xl
+        || args.service
+        || args.server
+        || args.churn)
         && args.check.is_some()
     {
         return Err("--check applies to executor mode only".into());
@@ -161,6 +186,7 @@ fn parse(raw: &[String]) -> Result<Args, String> {
         args.scale_xl,
         args.service,
         args.server,
+        args.churn,
     ]
     .iter()
     .filter(|&&m| m)
@@ -168,7 +194,8 @@ fn parse(raw: &[String]) -> Result<Args, String> {
         > 1
     {
         return Err(
-            "--scale, --scale-xl, --conformance, --service, and --server are mutually exclusive"
+            "--scale, --scale-xl, --conformance, --service, --server, and --churn \
+             are mutually exclusive"
                 .into(),
         );
     }
@@ -187,6 +214,8 @@ fn main() -> ExitCode {
         run_service(&args)
     } else if args.server {
         run_server(&args)
+    } else if args.churn {
+        run_churn(&args)
     } else {
         run_executor(&args)
     }
@@ -264,6 +293,72 @@ fn run_server(args: &Args) -> ExitCode {
     println!(
         "\nserver gate: admission probes passed (saturation rejects, cancel/deadline reported) \
          and every job bit-identical to its direct solve"
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_churn(args: &Args) -> ExitCode {
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_churn.json".into());
+    // collect() panics (non-zero exit) if a repaired forest fails the
+    // churn-differential oracle, the replay drifts across thread counts,
+    // or the majority-2x-speedup gate is missed — those are this mode's
+    // gate.
+    let report = churn::collect(args.quick);
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# bench_runner --churn ({} mode) -> {out_path}\n# {}\n# {}\n",
+        report.mode,
+        threads_header(),
+        sched_obs_header()
+    );
+    println!(
+        "{:<38} {:>2} {:>5} {:>7} {:>9} {:>7} {:>7} {:>9} {:>11} {:>11} {:>11} {:>8}",
+        "workload",
+        "k",
+        "moves",
+        "weight",
+        "scratch",
+        "ratio",
+        "bound",
+        "rounds",
+        "messages",
+        "repair",
+        "scratch t",
+        "speedup"
+    );
+    for e in &report.entries {
+        println!(
+            "{:<38} {:>2} {:>5} {:>7} {:>9} {:>7.3} {:>7.3} {:>9} {:>11} {:>8.3} ms {:>8.3} ms {:>7.1}x",
+            e.name,
+            e.k,
+            e.moves,
+            e.weight,
+            e.scratch_weight,
+            e.ratio_milli as f64 / 1000.0,
+            e.bound_milli as f64 / 1000.0,
+            e.rounds,
+            e.messages,
+            e.repair_wall_ns as f64 / 1e6,
+            e.scratch_wall_ns as f64 / 1e6,
+            e.speedup_milli as f64 / 1000.0,
+        );
+    }
+    let fast = report
+        .entries
+        .iter()
+        .filter(|e| e.speedup_milli >= 2000)
+        .count();
+    println!(
+        "\nchurn gate: every repair feasible, within the certified bound, <= scratch weight; \
+         replay bit-identical across thread counts; >=2x speedup on {fast} of {} steps",
+        report.entries.len()
     );
     ExitCode::SUCCESS
 }

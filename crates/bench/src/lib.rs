@@ -9,8 +9,9 @@
 //! [`perf`] (`dsf-bench-executor/v3`, executor and solver metrics),
 //! [`conformance`] (`dsf-bench-conformance/v1`, per-family ratio
 //! distribution), [`service`] (`dsf-bench-service/v1`, batched-service
-//! throughput), and [`server`] (`dsf-bench-server/v1`, streaming-server
-//! latency under open-loop load).
+//! throughput), [`server`] (`dsf-bench-server/v1`, streaming-server
+//! latency under open-loop load), and [`churn`] (`dsf-bench-churn/v1`,
+//! delta-repair speedup over from-scratch solves on churn traces).
 //!
 //! # Invariants
 //!
@@ -35,6 +36,7 @@
 mod table;
 
 pub mod alloc_meter;
+pub mod churn;
 pub mod conformance;
 pub mod experiments;
 pub mod perf;

@@ -428,6 +428,35 @@ impl WeightedGraph {
     pub fn id_bits(&self) -> usize {
         (usize::BITS - (self.n.max(2) - 1).leading_zeros()) as usize
     }
+
+    /// A 64-bit FNV-1a fingerprint of the weighted topology: `n`, `m`, and
+    /// every `(u, v, w)` triple in edge-id order.
+    ///
+    /// Weights are part of the digest, so reweighting a single edge changes
+    /// the fingerprint — cache keys built on it distinguish instances that
+    /// agree on shape but not on metric. Two graphs built from the same
+    /// edge list (in either orientation — edges are normalized to `u < v`)
+    /// fingerprint identically. The usual 64-bit collision caveat applies:
+    /// this is a cache key, not a cryptographic identity.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.n as u64);
+        mix(self.edges.len() as u64);
+        for e in &self.edges {
+            mix(u64::from(e.u.0));
+            mix(u64::from(e.v.0));
+            mix(e.w);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +576,30 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(g.neighbors(v), b.neighbors(v));
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_topology_and_weights() {
+        let g = triangle();
+        // Stable across clones and rebuilds of the same edge list.
+        assert_eq!(g.fingerprint(), g.clone().fingerprint());
+        assert_eq!(
+            g.fingerprint(),
+            WeightedGraph::from_edges(3, g.edges().to_vec())
+                .unwrap()
+                .fingerprint()
+        );
+        // A single reweight changes it.
+        let mut reweighted = g.edges().to_vec();
+        reweighted[1].w += 1;
+        let g2 = WeightedGraph::from_edges(3, reweighted).unwrap();
+        assert_ne!(g.fingerprint(), g2.fingerprint());
+        // A different shape on the same node count changes it.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        let path = b.build().unwrap();
+        assert_ne!(g.fingerprint(), path.fingerprint());
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! * [`SolverService`] — a batched front-end owning one session per
 //!   worker: small jobs are scheduled round-robin across the workers,
 //!   large jobs get the whole pool as sharded-executor threads.
+//! * The **delta API** ([`SolverSession::install_graph`],
+//!   [`SolverSession::add_demand`], [`SolverSession::remove_demand`],
+//!   [`SolverSession::reweight_edge`]) — incremental re-solve on a warm
+//!   session: a cached [`dsf_steiner::ForestSolution`] keyed by the
+//!   graph fingerprint is *repaired* after each demand/weight change
+//!   instead of re-solved, and finished to a deterministic local
+//!   optimum (see `delta`'s module docs for the quality envelope).
 //! * [`ServiceReport`] — per-batch results (per-job ratio, rounds,
 //!   messages, wall-clock) with the conformance oracle's ledger
 //!   invariants re-checked on every job.
@@ -56,11 +63,13 @@
 //! }
 //! ```
 
+mod delta;
 mod report;
 mod request;
 mod service;
 mod session;
 
+pub use delta::{DeltaError, DeltaOutcome, DeltaStats, DemandId};
 pub use report::{JobOutcome, ServiceReport};
 pub use request::{SolveRequest, SolverKind};
 pub use service::{ServiceConfig, SolverService};

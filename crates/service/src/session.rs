@@ -56,6 +56,11 @@ use crate::request::{SolveRequest, SolverKind};
 pub struct SolverSession {
     pool: BufferPool,
     solves: u64,
+    /// Cached incremental solve, keyed by graph fingerprint (see
+    /// [`crate::delta`]).
+    pub(crate) incremental: Option<crate::delta::IncrementalState>,
+    /// Counters of the incremental activity.
+    pub(crate) delta_stats: crate::delta::DeltaStats,
 }
 
 /// Dispatches one request onto the matching `solve_*` entry point.

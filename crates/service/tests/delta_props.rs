@@ -1,0 +1,199 @@
+//! Property tests over random delta sequences: whatever order demands
+//! arrive, depart, and edges get re-priced, the cached forest a
+//! [`SolverSession`] repairs must keep its invariants at every step —
+//! feasible on the current instance, never heavier than a fresh greedy
+//! solve of that instance, empty again once the last demand departs,
+//! and an add-then-remove round trip never leaves the forest heavier
+//! than before it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dsf_graph::{generators, EdgeId, NodeId, WeightedGraph};
+use dsf_service::{DemandId, SolverSession};
+use dsf_steiner::{greedy, InstanceBuilder};
+use dsf_workloads::conformance::check_feasible_forest;
+
+/// The active demand set a replayed session should be holding.
+struct Mirror {
+    demands: Vec<(DemandId, Vec<NodeId>)>,
+    free: Vec<NodeId>,
+}
+
+impl Mirror {
+    fn new(n: usize) -> Self {
+        Mirror {
+            demands: Vec::new(),
+            free: (0..n).map(NodeId::from).collect(),
+        }
+    }
+
+    /// Samples 2–3 currently-unused terminals (keeps arrivals disjoint
+    /// from every active terminal, the instance rule).
+    fn sample_terminals(&mut self, rng: &mut StdRng) -> Vec<NodeId> {
+        let want = 2 + rng
+            .gen_range(0..2usize)
+            .min(self.free.len().saturating_sub(2));
+        let mut terms = Vec::with_capacity(want);
+        for _ in 0..want {
+            let at = rng.gen_range(0..self.free.len());
+            terms.push(self.free.swap_remove(at));
+        }
+        terms.sort_unstable();
+        terms
+    }
+
+    fn release(&mut self, terms: &[NodeId]) {
+        self.free.extend_from_slice(terms);
+    }
+
+    /// Greedy's weight on the instance built from the active demands.
+    fn greedy_weight(&self, g: &WeightedGraph) -> u64 {
+        let mut b = InstanceBuilder::new(g);
+        for (_, terms) in &self.demands {
+            b = b.component(terms);
+        }
+        let inst = b.build().expect("mirror demands stay disjoint");
+        greedy::solve_greedy(g, &inst).weight(g)
+    }
+
+    /// Checks the session's cached forest against the mirrored state.
+    fn check(&self, session: &SolverSession, g: &WeightedGraph, ctx: &str) -> Result<(), String> {
+        let forest = session.cached_forest().expect("graph is installed");
+        let mut b = InstanceBuilder::new(g);
+        for (_, terms) in &self.demands {
+            b = b.component(terms);
+        }
+        let inst = b.build().expect("mirror demands stay disjoint");
+        check_feasible_forest(g, &inst, forest).map_err(|e| format!("{ctx}: {e}"))?;
+        let w = forest.weight(g);
+        let gw = self.greedy_weight(g);
+        if w > gw {
+            return Err(format!("{ctx}: repaired weight {w} above greedy's {gw}"));
+        }
+        Ok(())
+    }
+}
+
+/// Strategy: a connected graph spec plus a delta-sequence seed.
+fn case() -> impl Strategy<Value = (u64, usize, f64, usize)> {
+    (
+        0u64..1000,  // delta-sequence seed
+        8usize..18,  // n
+        0.2f64..0.5, // p
+        6usize..14,  // delta count
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of add/remove/reweight keep the cached
+    /// forest feasible and never heavier than a fresh greedy solve of
+    /// the current instance, after every single delta.
+    #[test]
+    fn random_delta_sequences_keep_the_cached_forest_invariants(
+        (seed, n, p, steps) in case()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut graph = Arc::new(generators::gnp_connected(n, p, 10, seed));
+        let mut session = SolverSession::new();
+        prop_assert!(session.install_graph(graph.clone()));
+        let mut mirror = Mirror::new(n);
+        for i in 0..steps {
+            let roll = rng.gen_range(0..100u32);
+            // Cap active components at 4 so arrivals always ride the
+            // small-instance race: the invariant below is the raced
+            // guarantee (repaired ≤ from-scratch ≤ greedy).
+            if mirror.demands.len() >= 4 || (roll >= 60 && !mirror.demands.is_empty()) {
+                if roll < 80 || mirror.demands.len() >= 4 {
+                    let at = rng.gen_range(0..mirror.demands.len());
+                    let (id, terms) = mirror.demands.remove(at);
+                    session.remove_demand(id).map_err(|e| {
+                        TestCaseError::Fail(format!("step {i}: remove failed: {e}"))
+                    })?;
+                    mirror.release(&terms);
+                } else {
+                    let e = EdgeId(rng.gen_range(0..graph.m()) as u32);
+                    let old = graph.weight(e);
+                    let mut w = 1 + rng.gen_range(0..10u64);
+                    if w == old {
+                        w += 1;
+                    }
+                    session.reweight_edge(e, w).map_err(|err| {
+                        TestCaseError::Fail(format!("step {i}: reweight failed: {err}"))
+                    })?;
+                    let mut edges = graph.edges().to_vec();
+                    edges[e.idx()].w = w;
+                    graph = Arc::new(
+                        WeightedGraph::from_edges(graph.n(), edges)
+                            .expect("re-pricing a valid graph stays valid"),
+                    );
+                }
+            } else if mirror.free.len() >= 2 {
+                let terms = mirror.sample_terminals(&mut rng);
+                let (id, _) = session.add_demand(&terms).map_err(|e| {
+                    TestCaseError::Fail(format!("step {i}: add failed: {e}"))
+                })?;
+                mirror.demands.push((id, terms));
+            }
+            mirror
+                .check(&session, &graph, &format!("step {i}"))
+                .map_err(TestCaseError::Fail)?;
+        }
+    }
+
+    /// Removing the last active demand rolls the forest all the way
+    /// back to empty — no orphaned edges survive a full drain.
+    #[test]
+    fn removing_the_last_demand_yields_the_empty_forest(
+        (seed, n, p, _) in case()
+    ) {
+        let g = Arc::new(generators::gnp_connected(n, p, 10, seed));
+        let mut session = SolverSession::new();
+        prop_assert!(session.install_graph(g.clone()));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let mut mirror = Mirror::new(n);
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let terms = mirror.sample_terminals(&mut rng);
+            let (id, _) = session.add_demand(&terms).unwrap();
+            ids.push(id);
+        }
+        while let Some(id) = ids.pop() {
+            let out = session.remove_demand(id).unwrap();
+            if ids.is_empty() {
+                prop_assert!(out.forest.edges().is_empty(), "drained forest kept edges");
+                prop_assert_eq!(out.weight, 0);
+            }
+        }
+    }
+
+    /// An add immediately undone by its removal never leaves the
+    /// surviving forest heavier than before the round trip.
+    #[test]
+    fn add_then_remove_round_trips_no_heavier(
+        (seed, n, p, _) in case()
+    ) {
+        let g = Arc::new(generators::gnp_connected(n, p, 10, seed));
+        let mut session = SolverSession::new();
+        prop_assert!(session.install_graph(g.clone()));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517c);
+        let mut mirror = Mirror::new(n);
+        for _ in 0..2 {
+            let terms = mirror.sample_terminals(&mut rng);
+            session.add_demand(&terms).unwrap();
+        }
+        let before = session.cached_forest().unwrap().weight(&g);
+        let terms = mirror.sample_terminals(&mut rng);
+        let (id, _) = session.add_demand(&terms).unwrap();
+        let out = session.remove_demand(id).unwrap();
+        prop_assert!(
+            out.weight <= before,
+            "round trip went {before} -> {}", out.weight
+        );
+    }
+}

@@ -18,6 +18,9 @@
 //!   (arXiv:1412.7693), the "beat the 2+ε line" reference solver;
 //! * [`local_search`] — the swap/replace local-search improver of Groß
 //!   et al. (arXiv:1707.02753), a post-processor over any solution;
+//! * [`repair`] — forest surgery for incremental re-solves: contracted
+//!   reconnection of a terminal set and whole-component reroutes, the
+//!   moves `dsf-service`'s delta API repairs cached forests with;
 //! * [`exact`] — an exact Steiner forest solver for small instances
 //!   (minimum over component partitions of per-block Dreyfus–Wagner trees),
 //!   the ground truth for every approximation-ratio experiment.
@@ -46,6 +49,7 @@ mod instance;
 pub mod local_search;
 pub mod moat;
 pub mod moat_rounded;
+pub mod repair;
 mod solution;
 
 pub use instance::{

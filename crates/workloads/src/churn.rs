@@ -1,0 +1,384 @@
+//! Seeded churn traces: the arrival/departure/reweight workloads of the
+//! incremental re-solve lab.
+//!
+//! A [`ChurnTrace`] is a graph from one of the corpus families plus a
+//! deterministic sequence of [`ChurnOp`]s — demand components arriving,
+//! departing, and edges being re-priced — the kind of traffic
+//! `dsf-service`'s delta API repairs a cached forest under. Traces are
+//! deterministic per `(family, seed)` and keep the instance invariants
+//! the delta API enforces: arriving terminals are disjoint from every
+//! active terminal, departures address an active slot, and after the
+//! warm-up at least [`MIN_ACTIVE`] components stay active (so every
+//! post-op instance is certifiable and non-trivial).
+//!
+//! Every trace opens with [`ChurnTrace::warmup`] cache-seeding arrivals.
+//! Replayers apply them like any other op, but the bench tier excludes
+//! them from its timing entries and speed gate: churn measures deltas
+//! against a *warm* session, not the cost of first filling the cache.
+//!
+//! [`ChurnTrace::steps`] materializes the trace for differential
+//! consumers: each step carries the op plus the *post-op* demand sets
+//! and the post-op graph (reweights applied), which is exactly what a
+//! from-scratch solve of the same state needs. `bench_runner --churn`,
+//! the root `tests/churn.rs` tier, and the oracle self-test all replay
+//! these.
+
+use dsf_graph::{generators, Edge, EdgeId, NodeId, Weight, WeightedGraph};
+use dsf_steiner::{Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::{Tier, FAMILIES};
+
+/// One delta of a churn trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A new demand component arrives.
+    Add {
+        /// Its terminals, disjoint from every active terminal.
+        terminals: Vec<NodeId>,
+    },
+    /// The active demand at `slot` departs.
+    Remove {
+        /// Index into the active demand list in arrival order (the
+        /// list a replayer maintains by pushing on `Add` and removing
+        /// at `slot` on `Remove`).
+        slot: usize,
+    },
+    /// An edge is re-priced.
+    Reweight {
+        /// The edge (ids are stable across reweights).
+        edge: EdgeId,
+        /// Its new weight (always `>= 1` and different from the old).
+        weight: Weight,
+    },
+}
+
+/// One materialized trace step: the op plus the post-op state a
+/// from-scratch differential solve needs.
+#[derive(Debug, Clone)]
+pub struct ChurnStep {
+    /// The delta applied at this step.
+    pub op: ChurnOp,
+    /// Active demand components after the op, in arrival order.
+    pub demands: Vec<Vec<NodeId>>,
+    /// The graph after the op (reweights applied; same edge ids).
+    pub graph: WeightedGraph,
+}
+
+/// A seeded churn trace over one graph family.
+#[derive(Debug, Clone)]
+pub struct ChurnTrace {
+    /// Stable id, e.g. `churn/gnp/seed=0`.
+    pub id: String,
+    /// Graph family name (one of [`FAMILIES`]).
+    pub family: &'static str,
+    /// Trace seed.
+    pub seed: u64,
+    /// The initial network.
+    pub graph: WeightedGraph,
+    /// The deltas, in order. The first [`ChurnTrace::warmup`] of them
+    /// are cache-seeding arrivals.
+    pub ops: Vec<ChurnOp>,
+    /// How many leading ops seed the cache. Replayers apply them
+    /// normally; the bench tier neither times nor gates them.
+    pub warmup: usize,
+}
+
+impl ChurnTrace {
+    /// Materializes the per-step post-op state (demand sets and graph).
+    pub fn steps(&self) -> Vec<ChurnStep> {
+        let mut demands: Vec<Vec<NodeId>> = Vec::new();
+        let mut edges: Vec<Edge> = self.graph.edges().to_vec();
+        let mut out = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            match op {
+                ChurnOp::Add { terminals } => demands.push(terminals.clone()),
+                ChurnOp::Remove { slot } => {
+                    demands.remove(*slot);
+                }
+                ChurnOp::Reweight { edge, weight } => edges[edge.idx()].w = *weight,
+            }
+            let graph = WeightedGraph::from_edges(self.graph.n(), edges.clone())
+                .expect("reweighted trace graph stays valid");
+            out.push(ChurnStep {
+                op: op.clone(),
+                demands: demands.clone(),
+                graph,
+            });
+        }
+        out
+    }
+}
+
+/// Builds the instance of a demand-set snapshot.
+pub fn instance_of(g: &WeightedGraph, demands: &[Vec<NodeId>]) -> Instance {
+    let mut b = InstanceBuilder::new(g);
+    for terms in demands {
+        b = b.component(terms);
+    }
+    b.build().expect("churn demand sets are disjoint")
+}
+
+/// Ops per trace for a tier.
+fn trace_len(tier: Tier) -> usize {
+    match tier {
+        Tier::Quick => 12,
+        Tier::Full => 20,
+    }
+}
+
+/// Seeds per family for a tier.
+fn seeds(tier: Tier) -> std::ops::Range<u64> {
+    match tier {
+        Tier::Quick => 0..1,
+        Tier::Full => 0..2,
+    }
+}
+
+/// Most active components a trace grows to.
+const MAX_ACTIVE: usize = 6;
+/// Components kept alive once the warm-up has arrived. Keeping the
+/// active set this deep means every measured arrival lands on an
+/// instance large enough that incremental repair has a real head start
+/// over a from-scratch solve.
+pub const MIN_ACTIVE: usize = 4;
+/// Cache-seeding arrivals at the head of every trace.
+const WARMUP_ADDS: usize = 5;
+
+/// Hop radius a demand component's terminals are sampled within.
+/// Connection requests in provisioning traffic are overwhelmingly
+/// local — a demand ties together nearby endpoints, not antipodes — and
+/// locality is also what makes a delta *incremental*: the blast radius
+/// of a local arrival is one small tree, not a restructuring of the
+/// whole forest.
+const DEMAND_RADIUS: u32 = 3;
+
+/// Samples an arrival: a random free center plus `comp_size - 1` free
+/// nodes within [`DEMAND_RADIUS`] hops of it (BFS over `adj`), pushed
+/// onto the active set. Falls back to the nearest free nodes in hop
+/// order when the ball is sparse.
+fn sample_add(
+    rng: &mut StdRng,
+    adj: &[Vec<NodeId>],
+    free: &mut Vec<NodeId>,
+    active: &mut Vec<Vec<NodeId>>,
+) -> ChurnOp {
+    let comp_size = if rng.gen_range(0..4) == 0 { 3 } else { 2 };
+    let center = free[rng.gen_range(0..free.len())];
+    // BFS out from the center, collecting free nodes in (hop, id) order.
+    let is_free = {
+        let mut m = vec![false; adj.len()];
+        for &v in free.iter() {
+            m[v.idx()] = true;
+        }
+        m
+    };
+    let mut hop = vec![u32::MAX; adj.len()];
+    hop[center.idx()] = 0;
+    let mut queue = std::collections::VecDeque::from([center]);
+    let mut ball: Vec<NodeId> = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v.idx()] {
+            if hop[w.idx()] == u32::MAX {
+                hop[w.idx()] = hop[v.idx()] + 1;
+                if is_free[w.idx()] {
+                    ball.push(w);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut terminals = vec![center];
+    // Prefer ball members within the radius (random among them), then
+    // nearest-first beyond it (BFS order) if the ball is too sparse.
+    let mut near: Vec<NodeId> = ball
+        .iter()
+        .copied()
+        .filter(|v| hop[v.idx()] <= DEMAND_RADIUS)
+        .collect();
+    while terminals.len() < comp_size && !near.is_empty() {
+        let i = rng.gen_range(0..near.len());
+        terminals.push(near.swap_remove(i));
+    }
+    for v in ball {
+        if terminals.len() >= comp_size {
+            break;
+        }
+        if hop[v.idx()] > DEMAND_RADIUS && !terminals.contains(&v) {
+            terminals.push(v);
+        }
+    }
+    terminals.sort_unstable();
+    free.retain(|v| !terminals.contains(v));
+    active.push(terminals.clone());
+    ChurnOp::Add { terminals }
+}
+
+/// The churn tier's network for one family. Churn graphs are roughly 8×
+/// the corpus full-tier node counts (n ≈ 200–500): the dynamic-algorithms
+/// story only shows at sizes where a from-scratch solve scans the whole
+/// graph while a repair scans the damage — and where independent demand
+/// trees have room to stay disjoint, so a delta's blast radius is a
+/// couple of trees, not the forest. They still stay CI-small.
+fn churn_graph(family: &str, seed: u64) -> WeightedGraph {
+    match family {
+        "gnp" => generators::gnp_connected(400, 0.022, 12, seed),
+        "grid" => generators::grid(20, 25, 8, seed),
+        "geometric" => generators::random_geometric(360, 0.09, seed),
+        "caterpillar" => generators::caterpillar(180, 1, 6, seed),
+        "tree_noise" => generators::tree_with_noise(400, 100, 10, seed),
+        "barbell" => generators::barbell(40, 120, 9, seed),
+        "clustered" => generators::clustered_geometric(12, 30, seed),
+        "heavy_tailed" => generators::heavy_tailed(360, 0.03, 2.0, 100_000, seed),
+        "power_law" => generators::rmat(420, 3, 12, seed),
+        other => panic!("unknown graph family {other:?}"),
+    }
+}
+
+/// Generates one trace. The generator simulates the active set and the
+/// weights so every emitted op is valid by construction.
+fn make_trace(family: &'static str, tier: Tier, seed: u64) -> ChurnTrace {
+    let graph = churn_graph(family, seed);
+    let family_salt = family
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(u64::from(b)));
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ family_salt);
+    let mut weights: Vec<Weight> = graph.edges().iter().map(|e| e.w).collect();
+    let mut active: Vec<Vec<NodeId>> = Vec::new();
+    let mut free: Vec<NodeId> = graph.nodes().collect();
+    let mut ops = Vec::new();
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); graph.n()];
+    for e in graph.edges() {
+        adj[e.u.idx()].push(e.v);
+        adj[e.v.idx()].push(e.u);
+    }
+
+    // Warm-up: seed the cache so the measured churn below always runs
+    // against a warm session.
+    for _ in 0..WARMUP_ADDS {
+        ops.push(sample_add(&mut rng, &adj, &mut free, &mut active));
+    }
+
+    for _ in 0..trace_len(tier) {
+        let roll: u32 = rng.gen_range(0..100);
+        let can_add = active.len() < MAX_ACTIVE && free.len() >= 3;
+        let can_remove = active.len() > MIN_ACTIVE;
+        let op = if active.len() < MIN_ACTIVE || (roll < 40 && can_add) {
+            sample_add(&mut rng, &adj, &mut free, &mut active)
+        } else if roll < 70 && can_remove {
+            let slot = rng.gen_range(0..active.len());
+            let freed = active.remove(slot);
+            free.extend(freed);
+            free.sort_unstable();
+            ChurnOp::Remove { slot }
+        } else {
+            let edge = EdgeId(rng.gen_range(0..graph.m() as u32));
+            let old = weights[edge.idx()];
+            let mut weight = rng.gen_range(1..=15);
+            if weight == old {
+                weight = if old == 1 { 2 } else { old - 1 };
+            }
+            weights[edge.idx()] = weight;
+            ChurnOp::Reweight { edge, weight }
+        };
+        ops.push(op);
+    }
+    ChurnTrace {
+        id: format!("churn/{family}/seed={seed}"),
+        family,
+        seed,
+        graph,
+        ops,
+        warmup: WARMUP_ADDS,
+    }
+}
+
+/// Enumerates the churn traces for `tier`: one per `FAMILIES × seeds`
+/// combination, deterministically and in a stable order.
+pub fn churn_traces(tier: Tier) -> Vec<ChurnTrace> {
+    FAMILIES
+        .into_iter()
+        .flat_map(|family| seeds(tier).map(move |seed| make_trace(family, tier, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_cover_the_families() {
+        let a = churn_traces(Tier::Quick);
+        let b = churn_traces(Tier::Quick);
+        assert_eq!(a.len(), FAMILIES.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.graph.edges(), y.graph.edges());
+        }
+    }
+
+    #[test]
+    fn every_step_keeps_the_instance_invariants() {
+        for trace in churn_traces(Tier::Quick) {
+            let steps = trace.steps();
+            assert_eq!(steps.len(), trace.ops.len(), "{}", trace.id);
+            assert_eq!(trace.warmup, WARMUP_ADDS, "{}", trace.id);
+            for (i, step) in steps.iter().enumerate() {
+                if i + 1 >= trace.warmup {
+                    assert!(
+                        step.demands.len() >= MIN_ACTIVE,
+                        "{} step {i}: active dropped below {MIN_ACTIVE}",
+                        trace.id
+                    );
+                }
+                assert!(step.demands.len() <= MAX_ACTIVE, "{} step {i}", trace.id);
+                // Disjointness (and validity) via the instance builder.
+                let inst = instance_of(&step.graph, &step.demands);
+                assert!(inst.is_minimal(), "{} step {i}", trace.id);
+                // The graph only ever differs from the original in
+                // weights, never in shape.
+                assert_eq!(step.graph.n(), trace.graph.n());
+                assert_eq!(step.graph.m(), trace.graph.m());
+            }
+        }
+    }
+
+    #[test]
+    fn the_warmup_prefix_is_all_arrivals() {
+        for trace in churn_traces(Tier::Quick) {
+            assert!(trace.warmup <= trace.ops.len(), "{}", trace.id);
+            for op in &trace.ops[..trace.warmup] {
+                assert!(
+                    matches!(op, ChurnOp::Add { .. }),
+                    "{}: warm-up op {op:?} is not an arrival",
+                    trace.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_quick_suite_exercises_every_op_kind() {
+        let traces = churn_traces(Tier::Quick);
+        let all: Vec<&ChurnOp> = traces.iter().flat_map(|t| &t.ops).collect();
+        assert!(all.iter().any(|o| matches!(o, ChurnOp::Add { .. })));
+        assert!(all.iter().any(|o| matches!(o, ChurnOp::Remove { .. })));
+        assert!(all.iter().any(|o| matches!(o, ChurnOp::Reweight { .. })));
+    }
+
+    #[test]
+    fn reweights_always_change_the_weight_and_stay_positive() {
+        for trace in churn_traces(Tier::Quick) {
+            let mut weights: Vec<Weight> = trace.graph.edges().iter().map(|e| e.w).collect();
+            for op in &trace.ops {
+                if let ChurnOp::Reweight { edge, weight } = op {
+                    assert!(*weight >= 1, "{}", trace.id);
+                    assert_ne!(*weight, weights[edge.idx()], "{}", trace.id);
+                    weights[edge.idx()] = *weight;
+                }
+            }
+        }
+    }
+}

@@ -150,6 +150,53 @@ pub fn check_solution(
     violations
 }
 
+/// The from-scratch baseline the churn gate holds repaired forests to:
+/// gluttonous greedy followed by the local-search improver, on the
+/// post-delta instance. Deterministic.
+pub fn scratch_solve(g: &WeightedGraph, inst: &Instance) -> ForestSolution {
+    local_search::improve(g, inst, &greedy::solve_greedy(g, inst))
+}
+
+/// The churn-differential gate: acceptance checks for one *repaired*
+/// forest after a delta, against the post-delta instance.
+///
+/// On top of the solver-agnostic [`check_solution`] checks (feasibility,
+/// forest-ness, certified ratio envelope at [`GREEDY_FACTOR`]) the
+/// repaired forest must
+///
+/// * weigh no more than `scratch_weight`, the from-scratch
+///   [`scratch_solve`] of the same post-delta state — repair must never
+///   cost solution quality; and
+/// * be minimal: [`ForestSolution::prune_to_minimal`] must be the
+///   identity, so a corrupted rollback that leaves a dangling edge after
+///   a removal is rejected even when the forest is still feasible and
+///   within ratio.
+///
+/// Returns every violation, tagged `[repair]` (empty = accepted). The
+/// oracle self-test feeds this stale and corrupted forests to prove the
+/// gate can fail.
+pub fn check_repaired(
+    g: &WeightedGraph,
+    inst: &Instance,
+    cert: &Certificate,
+    repaired: &ForestSolution,
+    scratch_weight: Weight,
+) -> Vec<String> {
+    let mut violations = check_solution(g, inst, cert, "repair", repaired, GREEDY_FACTOR, 0.0);
+    let w = repaired.weight(g);
+    if w > scratch_weight {
+        violations.push(format!(
+            "[repair] weight {w} exceeds the from-scratch greedy+local_search weight {scratch_weight}"
+        ));
+    }
+    if &repaired.prune_to_minimal(g, inst) != repaired {
+        violations.push(
+            "[repair] forest is not minimal: a dangling edge survived the rollback".to_string(),
+        );
+    }
+    violations
+}
+
 /// The per-entry ratio ceiling a solver committed to, in milli units:
 /// `⌈1000 · (factor · upper + slack) / upper⌉`. Emitted next to the
 /// achieved `ratio_milli` so the schema checker can replay the

@@ -66,7 +66,7 @@ pub const PATTERNS: [&str; 4] = [
     "singleton_spam",
 ];
 
-fn make_graph(family: &str, tier: Tier, seed: u64) -> WeightedGraph {
+pub(crate) fn make_graph(family: &str, tier: Tier, seed: u64) -> WeightedGraph {
     let quick = tier == Tier::Quick;
     match family {
         "gnp" => {

@@ -25,6 +25,10 @@
 //!   and the CONGEST `B`-bit per-edge budget on every ledger entry. The
 //!   same helpers back the root integration/property suites, replacing
 //!   their formerly copy-pasted assertions.
+//! * [`churn`] — seeded arrival/departure/reweight traces over the same
+//!   graph families, plus the churn-differential gate
+//!   ([`conformance::check_repaired`]) the incremental re-solve lab
+//!   holds `dsf-service`'s delta repairs to.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@
 //! assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
 //! ```
 
+pub mod churn;
 pub mod conformance;
 pub mod corpus;
 

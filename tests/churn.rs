@@ -1,0 +1,160 @@
+//! The churn-differential tier: seeded arrival/departure/reweight traces
+//! replayed through `dsf-service`'s delta API.
+//!
+//! Every repaired forest is held to the conformance oracle's
+//! `check_solution` seam on the *post-delta* instance — feasible, a
+//! forest, and within the certified ratio envelope at `GREEDY_FACTOR` —
+//! and the whole replay must be bit-identical across worker-thread
+//! counts 1 and 4 (the programmatic override of `DSF_THREADS`). The
+//! release-mode lab (`bench_runner --churn`) additionally races every
+//! step against the from-scratch solve and gates wall-clock; this tier
+//! keeps the correctness half of that gate in plain `cargo test`.
+
+use std::sync::Arc;
+
+use steiner_forest::congest::with_threads;
+use steiner_forest::service::{DemandId, SolverSession};
+use steiner_forest::steiner::ForestSolution;
+use steiner_forest::workloads::certify;
+use steiner_forest::workloads::churn::{churn_traces, instance_of, ChurnOp, ChurnTrace};
+use steiner_forest::workloads::conformance::{self, GREEDY_FACTOR};
+use steiner_forest::workloads::corpus::Tier;
+
+/// Replays a whole trace through one incremental session, returning the
+/// repaired forest, its weight, and the accepted move count per step.
+fn replay(trace: &ChurnTrace) -> Vec<(ForestSolution, u64, u64)> {
+    let mut session = SolverSession::new();
+    assert!(
+        session.install_graph(Arc::new(trace.graph.clone())),
+        "{}: a fresh session must build its cache",
+        trace.id
+    );
+    let mut handles: Vec<DemandId> = Vec::new();
+    let mut out = Vec::with_capacity(trace.ops.len());
+    for (i, op) in trace.ops.iter().enumerate() {
+        let outcome = match op {
+            ChurnOp::Add { terminals } => {
+                let (id, o) = session
+                    .add_demand(terminals)
+                    .unwrap_or_else(|e| panic!("{}: step {i}: add failed: {e}", trace.id));
+                handles.push(id);
+                o
+            }
+            ChurnOp::Remove { slot } => {
+                let id = handles.remove(*slot);
+                session
+                    .remove_demand(id)
+                    .unwrap_or_else(|e| panic!("{}: step {i}: remove failed: {e}", trace.id))
+            }
+            ChurnOp::Reweight { edge, weight } => session
+                .reweight_edge(*edge, *weight)
+                .unwrap_or_else(|e| panic!("{}: step {i}: reweight failed: {e}", trace.id)),
+        };
+        out.push((outcome.forest, outcome.weight, outcome.moves));
+    }
+    out
+}
+
+#[test]
+fn every_repaired_forest_conforms_on_the_post_delta_instance() {
+    for trace in churn_traces(Tier::Quick) {
+        let results = replay(&trace);
+        let steps = trace.steps();
+        assert_eq!(results.len(), steps.len(), "{}: replay length", trace.id);
+        for (i, (step, (forest, weight, _))) in steps.iter().zip(&results).enumerate() {
+            let inst = instance_of(&step.graph, &step.demands);
+            let cert = certify(&step.graph, &inst);
+            let violations = conformance::check_solution(
+                &step.graph,
+                &inst,
+                &cert,
+                "repair",
+                forest,
+                GREEDY_FACTOR,
+                0.0,
+            );
+            assert!(
+                violations.is_empty(),
+                "{}: step {i} ({:?}): {violations:?}",
+                trace.id,
+                step.op
+            );
+            assert_eq!(
+                *weight,
+                forest.weight(&step.graph),
+                "{}: step {i}: reported weight disagrees with the forest",
+                trace.id
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_is_bit_identical_across_thread_counts() {
+    for trace in churn_traces(Tier::Quick) {
+        let base = with_threads(1, || replay(&trace));
+        let alt = with_threads(4, || replay(&trace));
+        assert_eq!(base.len(), alt.len(), "{}: replay length drifted", trace.id);
+        for (i, (a, b)) in base.iter().zip(&alt).enumerate() {
+            assert!(
+                a == b,
+                "{}: step {i}: repair is not bit-identical across thread counts",
+                trace.id
+            );
+        }
+    }
+}
+
+#[test]
+fn swapping_graphs_mid_session_rebuilds_rather_than_repairs() {
+    let traces = churn_traces(Tier::Quick);
+    let (a, b) = (&traces[0], &traces[1]);
+    assert_ne!(
+        a.graph.fingerprint(),
+        b.graph.fingerprint(),
+        "regression fixture needs two distinct graphs"
+    );
+    let mut session = SolverSession::new();
+    assert!(session.install_graph(Arc::new(a.graph.clone())));
+    let first_add = a
+        .ops
+        .iter()
+        .find_map(|op| match op {
+            ChurnOp::Add { terminals } => Some(terminals.clone()),
+            _ => None,
+        })
+        .expect("every trace opens with arrivals");
+    session.add_demand(&first_add).expect("add on graph A");
+    assert!(!session.cached_forest().unwrap().edges().is_empty());
+    // Swapping to a different topology must drop the cached solve: a
+    // session that kept repairing forest-A edge ids against graph B
+    // would be patching the wrong topology.
+    assert!(
+        session.install_graph(Arc::new(b.graph.clone())),
+        "a fingerprint change must rebuild, not cache-hit"
+    );
+    assert!(
+        session.cached_forest().unwrap().edges().is_empty(),
+        "stale forest survived the graph swap"
+    );
+    let second_add = b
+        .ops
+        .iter()
+        .find_map(|op| match op {
+            ChurnOp::Add { terminals } => Some(terminals.clone()),
+            _ => None,
+        })
+        .expect("every trace opens with arrivals");
+    let (_, out) = session.add_demand(&second_add).expect("add on graph B");
+    let inst = instance_of(&b.graph, &[second_add]);
+    let violations = conformance::check_solution(
+        &b.graph,
+        &inst,
+        &certify(&b.graph, &inst),
+        "repair",
+        &out.forest,
+        GREEDY_FACTOR,
+        0.0,
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+}

@@ -14,10 +14,15 @@
 //!
 //! Plus the converse: the known-good solution passes, so the rejections
 //! above are the oracle discriminating, not refusing everything.
+//!
+//! The churn-differential gate (`check_repaired`) gets the same
+//! treatment: a stale cached forest that missed a newly added pair, a
+//! corrupted rollback that left a dangling edge, and a repair heavier
+//! than the from-scratch solve are each rejected.
 
 use steiner_forest::prelude::*;
 use steiner_forest::workloads::certify;
-use steiner_forest::workloads::conformance::check_solution;
+use steiner_forest::workloads::conformance::{check_repaired, check_solution};
 use steiner_forest::workloads::corpus::{corpus, Tier};
 use steiner_forest::workloads::CertificateKind;
 
@@ -103,6 +108,63 @@ fn empty_solution_against_real_demand_is_rejected() {
     assert!(v.iter().any(|e| e.contains("disconnected")), "{v:?}");
     // The lower-bound check fires too: weight 0 < certified lower 2.
     assert!(v.iter().any(|e| e.contains("lower bound")), "{v:?}");
+}
+
+/// A stale cached forest — the session served its pre-delta solution
+/// without repairing in the newly added pair — leaves the new pair
+/// disconnected, and the churn gate must say so.
+#[test]
+fn stale_cached_forest_is_rejected_by_the_churn_gate() {
+    let (g, _, _) = fixture();
+    // Post-delta instance: the old pair {0, 2} plus the new arrival
+    // {1, 3}. The stale forest still solves only the old pair.
+    let inst = InstanceBuilder::new(&g)
+        .component(&[NodeId(0), NodeId(2)])
+        .component(&[NodeId(1), NodeId(3)])
+        .build()
+        .unwrap();
+    let cert = certify(&g, &inst);
+    let stale = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1)]);
+    let scratch = steiner_forest::workloads::conformance::scratch_solve(&g, &inst);
+    let v = check_repaired(&g, &inst, &cert, &stale, scratch.weight(&g));
+    assert!(
+        v.iter().any(|e| e.contains("disconnected")),
+        "stale forest must fail feasibility on the post-delta instance: {v:?}"
+    );
+}
+
+/// A corrupted rollback — the removal dropped the demand but left one of
+/// its edges behind — yields a feasible, acyclic, within-ratio forest
+/// that only the minimality check can catch.
+#[test]
+fn dangling_rollback_edge_is_rejected_by_the_churn_gate() {
+    // Path 0-1-2 (unit edges) with a unit stub 2-3; demand {0, 2}. The
+    // stub is the dangling residue of a departed {3, ...} component.
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 1).unwrap(); // e0
+    b.add_edge(NodeId(1), NodeId(2), 1).unwrap(); // e1
+    b.add_edge(NodeId(2), NodeId(3), 1).unwrap(); // e2: the residue
+    let g = b.build().unwrap();
+    let inst = InstanceBuilder::new(&g)
+        .component(&[NodeId(0), NodeId(2)])
+        .build()
+        .unwrap();
+    let cert = certify(&g, &inst);
+    let corrupted = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+    // Generous scratch budget: only the minimality defect can fire.
+    let v = check_repaired(&g, &inst, &cert, &corrupted, 3);
+    assert_eq!(v.len(), 1, "exactly the minimality error: {v:?}");
+    assert!(v[0].contains("minimal"), "{v:?}");
+    // The honest scratch weight (2) additionally trips the
+    // repair-never-heavier gate.
+    let v = check_repaired(&g, &inst, &cert, &corrupted, 2);
+    assert!(
+        v.iter().any(|e| e.contains("exceeds the from-scratch")),
+        "{v:?}"
+    );
+    // And the clean rollback passes: the gate discriminates.
+    let clean = ForestSolution::from_edges(vec![EdgeId(0), EdgeId(1)]);
+    assert!(check_repaired(&g, &inst, &cert, &clean, 2).is_empty());
 }
 
 /// The same three defect classes, injected on a *real* corpus entry (the

@@ -21,10 +21,20 @@ For each file it checks:
     exactly the expected fields, its aggregates replay from the entries
     (mean/max ratio, max bound, entry and family counts), and the
     ratio-regression gate holds — every entry's achieved `ratio_milli`
-    is within the `bound_milli` ceiling its solver was certified to.
+    is within the `bound_milli` ceiling its solver was certified to;
+  * churn (v1) only: the repair-quality gate replays offline — every
+    entry's repaired `weight` is within its `scratch_weight` and its
+    `ratio_milli` is within `bound_milli`.
 
 Usage: python3 tools/check_bench_schema.py FILE.json [FILE.json ...]
+       python3 tools/check_bench_schema.py --self-test
 Exits 1 listing every violation, 0 when all files validate.
+
+`--self-test` feeds the checker a known-good churn artifact plus
+deliberately tampered copies (missing field, wrong type, repaired
+weight above scratch, ratio past bound, unexpected field) and asserts
+each tamper is rejected — proof the checker can fail, mirroring
+tests/oracle_selftest.rs.
 """
 
 import json
@@ -105,6 +115,25 @@ TIERS = {
         },
         {},
     ),
+    "churn": (
+        "dsf-bench-churn/v1",
+        {
+            "name": str,
+            "step": int,
+            "k": int,
+            "moves": int,
+            "weight": int,
+            "scratch_weight": int,
+            "ratio_milli": int,
+            "bound_milli": int,
+            "rounds": int,
+            "messages": int,
+            "repair_wall_ns": int,
+            "scratch_wall_ns": int,
+            "speedup_milli": int,
+        },
+        {},
+    ),
 }
 
 # File stem -> tier. The scale artifacts reuse the executor schema.
@@ -114,6 +143,7 @@ STEMS = {
     "BENCH_conformance": "conformance",
     "BENCH_service": "service",
     "BENCH_server": "server",
+    "BENCH_churn": "churn",
 }
 
 
@@ -221,6 +251,31 @@ def check_conformance_extras(path: Path, doc: dict, entries: list, errors):
         errors.append(f"{path}: solvers block is missing {missing}")
 
 
+def check_churn_extras(path: Path, entries: list, errors):
+    """v1 extras: replay the repair-quality gate offline.
+
+    The bench harness aborts the run on a violation, so a shipped
+    artifact that trips either check was tampered with (or a harness
+    regression let a bad forest through).
+    """
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            continue
+        where = f"{path}: entries[{i}] ({entry.get('name')})"
+        w, scratch = entry.get("weight"), entry.get("scratch_weight")
+        if is_int(w) and is_int(scratch) and w > scratch:
+            errors.append(
+                f"{where}: repair regression — repaired weight {w} exceeds "
+                f"the from-scratch weight {scratch}"
+            )
+        ratio, bound = entry.get("ratio_milli"), entry.get("bound_milli")
+        if is_int(ratio) and is_int(bound) and ratio > bound:
+            errors.append(
+                f"{where}: ratio regression — ratio_milli {ratio} exceeds "
+                f"bound_milli {bound}"
+            )
+
+
 def tier_for(path: Path):
     for stem, tier in STEMS.items():
         if path.name.startswith(stem):
@@ -275,9 +330,96 @@ def check_file(path: Path, errors):
                 errors.append(f"{where}: unexpected field {field!r}")
     if tier == "conformance":
         check_conformance_extras(path, doc, entries, errors)
+    if tier == "churn":
+        check_churn_extras(path, entries, errors)
+
+
+def good_churn_entry():
+    return {
+        "name": "churn/gnp/seed=0/step=05/add",
+        "step": 5,
+        "k": 4,
+        "moves": 2,
+        "weight": 41,
+        "scratch_weight": 41,
+        "ratio_milli": 1000,
+        "bound_milli": 4000,
+        "rounds": 310,
+        "messages": 6200,
+        "repair_wall_ns": 1,
+        "scratch_wall_ns": 9,
+        "speedup_milli": 9000,
+    }
+
+
+def self_test():
+    """Negative-test the churn tier: every tamper must be rejected."""
+    import tempfile
+
+    def run(mutate):
+        doc = {
+            "schema": "dsf-bench-churn/v1",
+            "mode": "quick",
+            "entries": [good_churn_entry()],
+        }
+        mutate(doc)
+        errors = []
+        with tempfile.TemporaryDirectory() as d:
+            p = Path(d) / "BENCH_churn.json"
+            p.write_text(json.dumps(doc), encoding="utf-8")
+            check_file(p, errors)
+        return errors
+
+    def tampered(label, mutate, needle):
+        errors = run(mutate)
+        assert any(needle in e for e in errors), (
+            f"self-test: {label}: expected a violation mentioning {needle!r}, "
+            f"got {errors}"
+        )
+
+    assert run(lambda doc: None) == [], "self-test: the clean artifact must pass"
+    tampered(
+        "missing field",
+        lambda doc: doc["entries"][0].pop("scratch_weight"),
+        "missing field 'scratch_weight'",
+    )
+    tampered(
+        "wrong type",
+        lambda doc: doc["entries"][0].update(weight="41"),
+        "field 'weight' must be an integer",
+    )
+    tampered(
+        "repair above scratch",
+        lambda doc: doc["entries"][0].update(weight=42, scratch_weight=41),
+        "repair regression",
+    )
+    tampered(
+        "ratio past bound",
+        lambda doc: doc["entries"][0].update(ratio_milli=4001),
+        "ratio regression",
+    )
+    tampered(
+        "unexpected field",
+        lambda doc: doc["entries"][0].update(wall_ns=7),
+        "unexpected field 'wall_ns'",
+    )
+    tampered(
+        "wrong schema id",
+        lambda doc: doc.update(schema="dsf-bench-churn/v0"),
+        "expected 'dsf-bench-churn/v1'",
+    )
+    tampered(
+        "empty entries",
+        lambda doc: doc.update(entries=[]),
+        "non-empty list",
+    )
+    print("check_bench_schema: self-test passed (7 tampers rejected)")
+    return 0
 
 
 def main(argv):
+    if argv == ["--self-test"]:
+        return self_test()
     if not argv:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
         print("usage: check_bench_schema.py FILE.json [FILE.json ...]", file=sys.stderr)
